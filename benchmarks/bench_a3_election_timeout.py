@@ -1,0 +1,87 @@
+"""A3 (ablation) — election timeout vs failover downtime.
+
+The replicated NameNode's recovery gap (E5) is dominated by the election
+timeout: shorter timeouts recover faster but false-suspect healthy
+leaders under jitter.  We sweep the base timeout and measure recovery
+time after a leader kill plus the number of elections during a calm
+steady-state period (spurious elections indicate instability).
+"""
+
+from harness import write_report
+
+from repro.analysis import render_table
+from repro.boomfs import DataNode
+from repro.paxos import ReplicatedFSClient, ReplicatedMaster
+from repro.sim import Cluster, LatencyModel
+
+TIMEOUTS = [400, 800, 1600, 3200]
+
+
+def run_one(base_timeout_ms: int):
+    cluster = Cluster(latency=LatencyModel(1, 2))
+    group = ["m0", "m1", "m2"]
+    masters = [
+        cluster.add(
+            ReplicatedMaster(
+                a,
+                group,
+                replication=1,
+                base_election_timeout_ms=base_timeout_ms,
+                election_stagger_ms=base_timeout_ms // 2,
+            )
+        )
+        for a in group
+    ]
+    cluster.add(DataNode("dn0", masters=group, heartbeat_ms=300))
+    fs = cluster.add(ReplicatedFSClient("client", group, op_timeout_ms=60_000))
+    assert cluster.run_until(
+        lambda: any(m.is_leader for m in masters), max_time_ms=60_000
+    )
+    cluster.run_for(500)
+    fs.mkdir("/w")
+    # Calm period: count ballot changes (elections) over 10s of quiet.
+    ballots_before = max(
+        m.runtime.rows("curr_ballot")[0][1] for m in masters
+    )
+    cluster.run_for(10_000)
+    ballots_after = max(m.runtime.rows("curr_ballot")[0][1] for m in masters)
+    spurious = ballots_after > ballots_before
+    # Kill the leader and time the next successful op.
+    leader = next(m for m in masters if not m.crashed and m.is_leader)
+    cluster.crash(leader.address)
+    t0 = cluster.now
+    fs.create("/w/after")
+    recovery_ms = cluster.now - t0
+    return {"recovery_ms": recovery_ms, "spurious_elections": spurious}
+
+
+def run_experiment():
+    return {t: run_one(t) for t in TIMEOUTS}
+
+
+def build_report(results) -> str:
+    rows = [
+        [
+            f"{t} ms",
+            r["recovery_ms"],
+            "yes" if r["spurious_elections"] else "no",
+        ]
+        for t, r in results.items()
+    ]
+    table = render_table(
+        ["base election timeout", "failover recovery ms", "spurious elections (10s calm)"],
+        rows,
+        title="A3 (ablation) -- election timeout sweep, 3 replicas, leader killed",
+    )
+    return table + (
+        "\nRecovery tracks the timeout roughly linearly; very short timeouts\n"
+        "risk deposing healthy leaders under network jitter — the standard\n"
+        "failure-detector trade-off, here tuned entirely in bootstrap facts."
+    )
+
+
+def test_a3_election_timeout(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report = build_report(results)
+    write_report("a3_election_timeout", report)
+    assert results[400]["recovery_ms"] < results[3200]["recovery_ms"]

@@ -1,0 +1,78 @@
+"""A5 (ablation) — data-locality scheduling on/off.
+
+BOOM-MR's FIFO port includes Hadoop's data-locality preference (rules
+fl1–fl4 in boom_mr.olg): a heartbeating tracker first receives a map
+whose input chunk lives on its machine.  We run the same wordcount with
+locality hints enabled and disabled and report cross-machine traffic and
+job time.
+"""
+
+from harness import write_report
+
+from repro.analysis import render_table
+from repro.mapreduce import (
+    JobRunner,
+    JobSpec,
+    build_mr_cluster,
+    make_input_files,
+    wordcount_map,
+    wordcount_reduce,
+)
+
+
+def run_one(use_locality: bool):
+    mr = build_mr_cluster(num_trackers=6, seed=21)
+    runner = JobRunner(mr)
+    datasets = make_input_files(6000, 12, seed=21)
+    paths = runner.stage_inputs("/in", datasets)
+    spec = JobSpec(0, paths, 4, wordcount_map, wordcount_reduce, "/out")
+    remote_before = mr.cluster.network.stats.remote_bytes
+    result = runner.run_job(spec, use_locality=use_locality)
+    remote_mb = (mr.cluster.network.stats.remote_bytes - remote_before) / 1e6
+    jt = mr.jobtracker
+    local_sets: dict[tuple, set] = {}
+    for j, t, addr in jt.runtime.rows("task_loc"):
+        local_sets.setdefault((j, t), set()).add(addr)
+    local = sum(
+        1
+        for j, t, a, tracker, _, _ in jt.attempts(result.job_id)
+        if t < 1_000_000 and a == 0 and tracker in local_sets.get((j, t), set())
+    )
+    return {
+        "duration": result.duration_ms,
+        "remote_mb": remote_mb,
+        "local_maps": local,
+    }
+
+
+def run_experiment():
+    return {
+        "locality on": run_one(True),
+        "locality off": run_one(False),
+    }
+
+
+def build_report(results) -> str:
+    rows = [
+        [name, f"{r['local_maps']}/12", round(r["remote_mb"], 2), r["duration"]]
+        for name, r in results.items()
+    ]
+    table = render_table(
+        ["scheduler", "data-local maps", "cross-machine MB", "job ms"],
+        rows,
+        title="A5 (ablation) -- data-locality rules, wordcount 12 maps / 6 nodes",
+    )
+    return table + (
+        "\nFour extra Overlog rules (fl1-fl4) recover Hadoop's locality\n"
+        "preference: most maps read input from their own machine, cutting\n"
+        "cross-machine shuffle-in traffic."
+    )
+
+
+def test_a5_locality(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report = build_report(results)
+    write_report("a5_locality", report)
+    on, off = results["locality on"], results["locality off"]
+    assert on["local_maps"] > off["local_maps"] or on["remote_mb"] < off["remote_mb"]
+    assert on["remote_mb"] < off["remote_mb"]

@@ -1,0 +1,83 @@
+"""E1 — Code size (the paper's Table 1).
+
+The paper reports that BOOM-FS's metadata plane is ~85 Overlog rules
+versus ~21,700 lines of Java in HDFS, and BOOM-MR's scheduler a similar
+ratio.  Here we measure this repository the same way: declarative rules
+(plus their Python glue) versus the imperative baseline implementations
+of the *same* protocols on the same substrate.
+"""
+
+from pathlib import Path
+
+from harness import write_report
+
+from repro.analysis import count_olg, count_package, render_table
+
+SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def _olg_stats(*relpaths: str):
+    rules = lines = 0
+    for rel in relpaths:
+        stats = count_olg(SRC / rel)
+        rules += stats.rules
+        lines += stats.lines
+    return rules, lines
+
+
+def _py_loc(package: str, only: set[str] | None = None) -> int:
+    counts = count_package(SRC / package)
+    if only is not None:
+        counts = {k: v for k, v in counts.items() if k in only}
+    return sum(counts.values())
+
+
+def build_table() -> str:
+    fs_rules, fs_lines = _olg_stats("boomfs/programs/boomfs_master.olg")
+    fs_glue = _py_loc(
+        "boomfs", {"master.py", "partition.py"}
+    )
+    px_rules, px_lines = _olg_stats("paxos/programs/paxos.olg")
+    px_glue = _py_loc("paxos")
+    mr_rules, mr_lines = _olg_stats(
+        "mapreduce/scheduler_programs/boom_mr.olg",
+        "mapreduce/scheduler_programs/spec_hadoop.olg",
+        "mapreduce/scheduler_programs/spec_late.olg",
+    )
+    mr_glue = _py_loc("mapreduce", {"jobtracker.py"})
+
+    base_nn = _py_loc("hadoop", {"hdfs.py"})
+    base_jt = _py_loc("hadoop", {"jobtracker.py"})
+
+    rows = [
+        ["BOOM-FS NameNode", fs_rules, fs_lines, fs_glue, base_nn,
+         round(base_nn / fs_lines, 2)],
+        ["BOOM-MR JobTracker (3 policies)", mr_rules, mr_lines, mr_glue,
+         base_jt, round(base_jt / mr_lines, 2)],
+        ["Overlog Paxos + replicated NN", px_rules, px_lines, px_glue, "-", "-"],
+    ]
+    table = render_table(
+        [
+            "component",
+            "olg rules",
+            "olg lines",
+            "python glue loc",
+            "imperative baseline loc",
+            "imperative/olg line ratio",
+        ],
+        rows,
+        title="E1 / paper Table 1 -- code size: declarative vs imperative",
+    )
+    note = (
+        "\nNote: the paper compared against production Hadoop (~21.7k lines\n"
+        "of Java for HDFS alone); our baseline implements the same protocols\n"
+        "on the same simulator, so the ratio here is a lower bound on the\n"
+        "paper's (a production system carries far more incidental code)."
+    )
+    return table + note
+
+
+def test_e1_code_size(benchmark):
+    report = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    write_report("e1_code_size", report)
+    assert "BOOM-FS NameNode" in report

@@ -1,0 +1,132 @@
+"""E4 — NameNode metadata-operation throughput: BOOM-FS vs baseline.
+
+The paper benchmarks NameNode metadata ops against stock HDFS.  On the
+simulator, both masters speak the same protocol over the same network, so
+we report two complementary measures:
+
+* simulated throughput with a windowed asynchronous client (protocol
+  behaviour: are the declarative master's responses equivalent?), and
+* host CPU wall-time per operation (the real cost of evaluating Overlog
+  rules versus hand-written dictionaries — the honest price of the
+  declarative NameNode in this reproduction).
+"""
+
+import time
+
+from harness import write_report
+
+from repro.analysis import render_table
+from repro.boomfs import BoomFSMaster
+from repro.boomfs.client import FSSession
+from repro.hadoop import BaselineNameNode
+from repro.sim import Cluster, LatencyModel, Process
+
+TOTAL_OPS = 300
+WINDOW = 8
+
+
+class MetadataLoadGen(Process):
+    """Keeps WINDOW metadata ops in flight until TOTAL_OPS complete."""
+
+    def __init__(self, address, master, total_ops=TOTAL_OPS, window=WINDOW):
+        super().__init__(address)
+        self.session = FSSession(self, [master])
+        self.total = total_ops
+        self.window = window
+        self.issued = 0
+        self.completed = 0
+        self.started_ms = None
+        self.finished_ms = None
+
+    def start(self) -> None:
+        self.started_ms = self.now
+        self.session.mkdir("/bench", self._after_mkdir)
+
+    def _after_mkdir(self, ok, payload, retried) -> None:
+        for _ in range(self.window):
+            self._issue()
+
+    def _issue(self) -> None:
+        if self.issued >= self.total:
+            return
+        i = self.issued
+        self.issued += 1
+        # Mixed workload: 60% create, 20% exists, 20% ls.
+        if i % 5 in (0, 1, 2):
+            self.session.create(f"/bench/f{i}", self._done)
+        elif i % 5 == 3:
+            self.session.exists(f"/bench/f{max(0, i - 2)}", self._done)
+        else:
+            self.session.ls("/bench", self._done)
+
+    def _done(self, ok, payload, retried) -> None:
+        self.completed += 1
+        if self.completed >= self.total:
+            self.finished_ms = self.now
+        else:
+            self._issue()
+
+    def handle_message(self, relation, row) -> None:
+        if self.session.handles(relation):
+            self.session.on_message(relation, row)
+
+    @property
+    def done(self) -> bool:
+        return self.finished_ms is not None
+
+
+def run_one(master_cls):
+    cluster = Cluster(latency=LatencyModel(1, 1))
+    cluster.add(master_cls("master", replication=2))
+    gen = cluster.add(MetadataLoadGen("loadgen", "master"))
+    wall_start = time.perf_counter()
+    ok = cluster.run_until(lambda: gen.done, max_time_ms=600_000)
+    wall = time.perf_counter() - wall_start
+    assert ok, "load generator did not finish"
+    sim_ms = gen.finished_ms - gen.started_ms
+    return {
+        "sim_ms": sim_ms,
+        "sim_ops_per_s": TOTAL_OPS / (sim_ms / 1000),
+        "wall_us_per_op": wall * 1e6 / TOTAL_OPS,
+    }
+
+
+def run_experiment():
+    return {
+        "BOOM-FS (Overlog)": run_one(BoomFSMaster),
+        "Baseline (imperative)": run_one(BaselineNameNode),
+    }
+
+
+def build_report(results) -> str:
+    rows = [
+        [
+            name,
+            TOTAL_OPS,
+            r["sim_ms"],
+            round(r["sim_ops_per_s"]),
+            round(r["wall_us_per_op"]),
+        ]
+        for name, r in results.items()
+    ]
+    table = render_table(
+        ["NameNode", "ops", "sim ms", "sim ops/s", "host us/op"],
+        rows,
+        title="E4 -- metadata throughput (300 mixed ops, window=8)",
+    )
+    boom = results["BOOM-FS (Overlog)"]
+    base = results["Baseline (imperative)"]
+    ratio = boom["wall_us_per_op"] / base["wall_us_per_op"]
+    return table + (
+        f"\nSimulated throughput is protocol-bound and near-identical; the\n"
+        f"declarative master costs {ratio:.1f}x more host CPU per op — the\n"
+        f"interpretation overhead the paper also observed (JOL vs Java)."
+    )
+
+
+def test_e4_metadata_throughput(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report = build_report(results)
+    write_report("e4_metadata_throughput", report)
+    sim_rates = [r["sim_ops_per_s"] for r in results.values()]
+    assert max(sim_rates) / min(sim_rates) < 1.5  # protocol parity

@@ -1,0 +1,23 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every ``bench_eN_*.py`` regenerates one of the paper's tables/figures:
+it runs the experiment on the simulator, renders the same rows/series the
+paper reports, writes the report under ``benchmarks/reports/`` and prints
+it (visible with ``pytest benchmarks/ --benchmark-only -s``).
+
+Reports are the artifacts EXPERIMENTS.md cites.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+REPORTS_DIR = Path(__file__).resolve().parent / "reports"
+
+
+def write_report(name: str, text: str) -> Path:
+    REPORTS_DIR.mkdir(exist_ok=True)
+    path = REPORTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[report written to {path}]")
+    return path

@@ -1,0 +1,37 @@
+"""repro: a from-scratch reproduction of BOOM Analytics (EuroSys 2010).
+
+BOOM Analytics rebuilt the Hadoop stack in Overlog, a distributed Datalog
+dialect, to show that cloud infrastructure can be dramatically smaller and
+more malleable when written data-centrically.  This package contains the
+whole study, in Python:
+
+- :mod:`repro.overlog`   -- "PyJOL", an Overlog runtime (the substrate),
+- :mod:`repro.sim`       -- a deterministic discrete-event cluster simulator,
+- :mod:`repro.boomfs`    -- BOOM-FS, the HDFS-workalike with a declarative
+  NameNode (plus hash-partitioned deployment),
+- :mod:`repro.paxos`     -- MultiPaxos in Overlog and the replicated NameNode,
+- :mod:`repro.mapreduce` -- BOOM-MR with declarative scheduling (FIFO,
+  Hadoop speculation, LATE),
+- :mod:`repro.hadoop`    -- the imperative baseline stack for comparison,
+- :mod:`repro.monitoring`-- metaprogrammed tracing and invariant checking,
+- :mod:`repro.analysis`  -- CDFs, code-size accounting, report tables.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record; ``benchmarks/`` regenerates every table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, boomfs, hadoop, mapreduce, monitoring, overlog, paxos, sim
+
+__all__ = [
+    "analysis",
+    "boomfs",
+    "hadoop",
+    "mapreduce",
+    "monitoring",
+    "overlog",
+    "paxos",
+    "sim",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Analysis toolkit: CDFs, code-size accounting, table rendering —
+everything the benchmark harness uses to regenerate the paper's tables
+and figures as text reports."""
+
+from .cdf import cdf_series, empirical_cdf, percentile, render_ascii_cdf, summarize
+from .loc import OlgStats, count_olg, count_package, count_python_lines, repo_code_sizes
+from .tables import render_table
+
+__all__ = [
+    "OlgStats",
+    "cdf_series",
+    "count_olg",
+    "count_package",
+    "count_python_lines",
+    "empirical_cdf",
+    "percentile",
+    "render_ascii_cdf",
+    "render_table",
+    "repo_code_sizes",
+    "summarize",
+]

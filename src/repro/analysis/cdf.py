@@ -1,0 +1,77 @@
+"""Empirical CDFs and simple statistics for experiment reporting."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def empirical_cdf(values: Sequence[float]) -> list[tuple[float, float]]:
+    """Return (value, cumulative fraction) pairs, sorted by value."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """The p-th percentile (0..100) by nearest-rank."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= p <= 100:
+        raise ValueError("p must be in [0, 100]")
+    ordered = sorted(values)
+    if p == 0:
+        return ordered[0]
+    rank = max(1, round(p / 100 * len(ordered) + 0.5) - 1)
+    return ordered[min(rank, len(ordered) - 1)]
+
+
+def summarize(values: Sequence[float]) -> dict[str, float]:
+    """min / p25 / median / p75 / p95 / max / mean."""
+    if not values:
+        return {}
+    return {
+        "min": min(values),
+        "p25": percentile(values, 25),
+        "p50": percentile(values, 50),
+        "p75": percentile(values, 75),
+        "p95": percentile(values, 95),
+        "max": max(values),
+        "mean": sum(values) / len(values),
+    }
+
+
+def cdf_series(
+    values: Sequence[float], points: int = 20
+) -> list[tuple[float, float]]:
+    """A downsampled CDF suitable for printing as a figure series."""
+    full = empirical_cdf(values)
+    if len(full) <= points:
+        return full
+    step = len(full) / points
+    picked = [full[min(int(i * step), len(full) - 1)] for i in range(points)]
+    if picked[-1] != full[-1]:
+        picked.append(full[-1])
+    return picked
+
+
+def render_ascii_cdf(
+    series: dict[str, Sequence[float]], width: int = 60, title: str = ""
+) -> str:
+    """Render one or more CDFs as an ASCII chart (fraction rows 0..1)."""
+    lines = []
+    if title:
+        lines.append(title)
+    all_values = [v for vs in series.values() for v in vs]
+    if not all_values:
+        return title or ""
+    vmax = max(all_values) or 1
+    for name, values in series.items():
+        cdf = empirical_cdf(values)
+        lines.append(f"  {name}")
+        for frac_target in (0.25, 0.5, 0.75, 0.9, 1.0):
+            crossing = next((v for v, f in cdf if f >= frac_target), cdf[-1][0])
+            bar = "#" * int(crossing / vmax * width)
+            lines.append(f"    p{int(frac_target*100):3d} |{bar:<{width}}| {crossing:.0f}")
+    return "\n".join(lines)

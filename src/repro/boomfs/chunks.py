@@ -1,0 +1,22 @@
+"""Chunking helpers: splitting file data into fixed-size chunks and
+reassembling them.  BOOM-FS, like HDFS, stores file *data* as opaque
+chunks on DataNodes while the NameNode tracks only chunk metadata."""
+
+from __future__ import annotations
+
+DEFAULT_CHUNK_SIZE = 64 * 1024  # small relative to HDFS's 64MB; scaled to sim
+
+
+def split_chunks(data: bytes, chunk_size: int = DEFAULT_CHUNK_SIZE) -> list[bytes]:
+    """Split ``data`` into chunks of at most ``chunk_size`` bytes.
+
+    Empty data yields no chunks (an empty file has no fchunk rows).
+    """
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    return [data[i : i + chunk_size] for i in range(0, len(data), chunk_size)]
+
+
+def assemble_chunks(chunks: list[bytes]) -> bytes:
+    """Inverse of :func:`split_chunks` (chunks must be in file order)."""
+    return b"".join(chunks)

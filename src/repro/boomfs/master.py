@@ -1,0 +1,120 @@
+"""The BOOM-FS NameNode: an Overlog program hosted on a simulated node.
+
+All metadata logic lives in ``programs/boomfs_master.olg``; this module
+only loads the program, installs bootstrap facts (the root directory and
+configuration), and exposes inspection helpers used by tests and
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from importlib import resources
+from typing import Optional
+
+from ..overlog import Program, Rule, parse
+from ..sim.node import OverlogProcess
+
+_MASTER_SOURCE: Optional[str] = None
+
+
+def master_program_source() -> str:
+    """The Overlog source text of the NameNode program."""
+    global _MASTER_SOURCE
+    if _MASTER_SOURCE is None:
+        _MASTER_SOURCE = (
+            resources.files("repro.boomfs")
+            .joinpath("programs/boomfs_master.olg")
+            .read_text()
+        )
+    return _MASTER_SOURCE
+
+
+def master_program(drop_rules: tuple[str, ...] = ()) -> Program:
+    """Parse the NameNode program, optionally dropping named rules.
+
+    Dropping rules is the Overlog way to reconfigure behaviour: e.g. the
+    partitioned deployment removes the ``gc1`` orphan-chunk collector
+    because DataNodes are shared across partitions and one partition's
+    metadata cannot prove another partition's chunk is garbage.
+    """
+    program = parse(master_program_source())
+    if drop_rules:
+        kept: tuple[Rule, ...] = tuple(
+            r for r in program.rules if r.name not in drop_rules
+        )
+        program = program.with_rules(kept)
+    return program
+
+
+ROOT_FILE_ID = 0
+
+
+class BoomFSMaster(OverlogProcess):
+    """A NameNode instance.
+
+    Parameters
+    ----------
+    address:
+        network address, e.g. ``"master0"``.
+    replication:
+        target replica count for new chunks.
+    dn_timeout_ms:
+        heartbeat silence after which a DataNode is declared dead.
+    drop_rules:
+        rule names to remove from the program (see :func:`master_program`).
+    """
+
+    def __init__(
+        self,
+        address: str = "master",
+        replication: int = 3,
+        dn_timeout_ms: int = 3000,
+        drop_rules: tuple[str, ...] = (),
+        id_scope: Optional[str] = None,
+        seed: int = 0,
+        step_cost_ms: int = 0,
+        per_derivation_cost_us: int = 0,
+    ):
+        self.replication = replication
+        self.dn_timeout_ms = dn_timeout_ms
+        # f_idscope prefixes chunk ids: masters sharing DataNodes must not
+        # collide (partitions get distinct scopes), while Paxos replicas
+        # share one scope so replayed ops mint identical ids.
+        scope = id_scope if id_scope is not None else address
+        super().__init__(
+            address,
+            master_program(drop_rules),
+            seed=seed,
+            step_cost_ms=step_cost_ms,
+            per_derivation_cost_us=per_derivation_cost_us,
+            extra_functions={"f_idscope": lambda: scope},
+        )
+
+    def bootstrap(self) -> None:
+        self.runtime.install("file", [(ROOT_FILE_ID, -1, "", True)])
+        self.runtime.install("repfactor", [(self.replication,)])
+        self.runtime.install("dn_timeout", [(self.dn_timeout_ms,)])
+
+    # -- inspection helpers (tests, benchmarks, invariants) ------------------
+
+    def paths(self) -> dict[str, int]:
+        """Snapshot of the fqpath view: path -> file id."""
+        return {path: fid for path, fid in self.runtime.rows("fqpath")}
+
+    def files(self) -> list[tuple]:
+        return self.runtime.rows("file")
+
+    def chunks_of(self, file_id: int) -> list[str]:
+        """Chunk ids of a file, in file order."""
+        rows = [r for r in self.runtime.rows("fchunk") if r[1] == file_id]
+        return [cid for cid, _, _ in sorted(rows, key=lambda r: r[2])]
+
+    def live_datanodes(self) -> list[str]:
+        return sorted(addr for addr, _ in self.runtime.rows("datanode"))
+
+    def chunk_locations(self, chunk_id: str) -> list[str]:
+        return sorted(
+            addr
+            for addr, cid, _ in self.runtime.rows("hb_chunk")
+            if cid == chunk_id
+        )

@@ -1,0 +1,130 @@
+"""A ``hadoop fs``-style shell over any BOOM-FS client.
+
+Scriptable (each command returns its output as a string), so it doubles
+as a human-readable integration surface and a test fixture::
+
+    shell = FSShell(fs_client)
+    print(shell.execute("mkdir /data"))
+    print(shell.execute("put /data/x hello-world"))
+    print(shell.execute("tree /"))
+
+Commands: ls, mkdir, mkdirs, put, cat, rm, mv, stat, exists, tree, help.
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Callable
+
+from .client import FSError
+
+
+class ShellError(Exception):
+    pass
+
+
+class FSShell:
+    """Wraps any synchronous client (BoomFSClient, PartitionedFSClient,
+    ReplicatedFSClient) with a command-line-style interface."""
+
+    def __init__(self, fs):
+        self.fs = fs
+        self._commands: dict[str, tuple[Callable[..., str], str]] = {
+            "ls": (self._ls, "ls <dir> -- list directory"),
+            "mkdir": (self._mkdir, "mkdir <dir> -- create directory"),
+            "mkdirs": (self._mkdirs, "mkdirs <dir> -- create with ancestors"),
+            "put": (self._put, "put <path> <text> -- write a file"),
+            "cat": (self._cat, "cat <path> -- print file contents"),
+            "rm": (self._rm, "rm <path> -- remove file or subtree"),
+            "mv": (self._mv, "mv <old> <new> -- rename/move"),
+            "stat": (self._stat, "stat <path> -- type and size"),
+            "exists": (self._exists, "exists <path> -- dir/file/absent"),
+            "tree": (self._tree, "tree <dir> -- recursive listing"),
+            "help": (self._help, "help -- this text"),
+        }
+
+    def execute(self, line: str) -> str:
+        """Run one command line; returns its output, raises ShellError on
+        bad usage or FS failure."""
+        parts = shlex.split(line)
+        if not parts:
+            return ""
+        name, *args = parts
+        entry = self._commands.get(name)
+        if entry is None:
+            raise ShellError(f"unknown command {name!r}; try 'help'")
+        handler, usage = entry
+        try:
+            return handler(*args)
+        except TypeError:
+            raise ShellError(f"usage: {usage}") from None
+        except FSError as exc:
+            raise ShellError(f"{name}: {exc.code}") from exc
+
+    def run_script(self, script: str) -> list[str]:
+        """Run newline-separated commands (blank lines and ``#`` comments
+        skipped); returns each command's output."""
+        outputs = []
+        for line in script.splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            outputs.append(self.execute(line))
+        return outputs
+
+    # -- command handlers -------------------------------------------------------
+
+    def _ls(self, path: str) -> str:
+        return "\n".join(self.fs.ls(path))
+
+    def _mkdir(self, path: str) -> str:
+        self.fs.mkdir(path)
+        return f"created {path}"
+
+    def _mkdirs(self, path: str) -> str:
+        self.fs.makedirs(path)
+        return f"created {path}"
+
+    def _put(self, path: str, text: str) -> str:
+        self.fs.write(path, text.encode())
+        return f"wrote {len(text)} bytes to {path}"
+
+    def _cat(self, path: str) -> str:
+        return self.fs.read(path).decode("utf-8", "replace")
+
+    def _rm(self, path: str) -> str:
+        self.fs.rm(path)
+        return f"removed {path}"
+
+    def _mv(self, old: str, new: str) -> str:
+        self.fs.mv(old, new)
+        return f"moved {old} -> {new}"
+
+    def _stat(self, path: str) -> str:
+        is_dir, size = self.fs.stat(path)
+        kind = "dir" if is_dir else "file"
+        return f"{path}: {kind}, {size} bytes"
+
+    def _exists(self, path: str) -> str:
+        state = self.fs.exists(path)
+        return {True: "dir", False: "file", None: "absent"}[state]
+
+    def _tree(self, path: str = "/") -> str:
+        lines: list[str] = [path]
+        self._tree_walk(path, "", lines)
+        return "\n".join(lines)
+
+    def _tree_walk(self, path: str, indent: str, lines: list[str]) -> None:
+        try:
+            children = self.fs.ls(path)
+        except FSError:
+            return
+        for i, name in enumerate(children):
+            last = i == len(children) - 1
+            lines.append(f"{indent}{'`-' if last else '|-'} {name}")
+            child = f"{path.rstrip('/')}/{name}"
+            if self.fs.exists(child) is True:
+                self._tree_walk(child, indent + ("   " if last else "|  "), lines)
+
+    def _help(self) -> str:
+        return "\n".join(usage for _, usage in self._commands.values())

@@ -1,0 +1,13 @@
+"""Imperative Hadoop-style baseline stack.
+
+The comparator for every BOOM experiment: a hand-written NameNode
+(:class:`BaselineNameNode`) and JobTracker (:class:`BaselineJobTracker`)
+that speak the same protocols as the declarative components — so the
+same DataNodes, TaskTrackers, clients and benchmarks run against either
+stack, isolating the declarative-vs-imperative axis the paper studies.
+"""
+
+from .hdfs import BaselineNameNode
+from .jobtracker import BaselineJobTracker
+
+__all__ = ["BaselineJobTracker", "BaselineNameNode"]

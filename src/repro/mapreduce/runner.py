@@ -1,0 +1,247 @@
+"""Cluster builder and synchronous job runner.
+
+``build_mr_cluster`` assembles the full analytics stack the paper
+evaluates — a filesystem (BOOM-FS by default), DataNodes, a JobTracker
+(declarative BOOM-MR by default) and TaskTrackers — on one simulator.
+``JobRunner`` stages inputs into the FS, submits jobs, drives the
+simulator to completion and collects results.
+
+Both the JobTracker and FS components are swappable, which is how the E3
+benchmark runs all four stack combinations (Hadoop-style/BOOM-MR ×
+HDFS-style/BOOM-FS) on identical workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..boomfs import BoomFSClient, BoomFSMaster, DataNode
+from ..sim import Cluster, LatencyModel
+from .jobtracker import JobTracker
+from .tasktracker import TaskTracker
+from .types import JobResult, JobSpec, is_reduce_task
+from .workloads import make_input_files
+
+
+@dataclass
+class MRCluster:
+    """Handles to every component of a built cluster."""
+
+    cluster: Cluster
+    jobtracker: Any
+    trackers: list[TaskTracker]
+    fs_client: BoomFSClient
+    fs_masters: list[str]
+    datanodes: list[DataNode] = field(default_factory=list)
+    # dn address -> colocated tracker address (locality hints)
+    dn_to_tracker: dict[str, str] = field(default_factory=dict)
+
+
+def build_mr_cluster(
+    num_trackers: int = 8,
+    policy: str = "fifo",
+    replication: int = 2,
+    straggler_count: int = 0,
+    straggler_factor: float = 6.0,
+    map_slots: int = 2,
+    reduce_slots: int = 2,
+    seed: int = 0,
+    latency: Optional[LatencyModel] = None,
+    jobtracker_factory: Any = None,
+    fs_kind: str = "boomfs",
+    warmup_ms: int = 900,
+    jt_kwargs: Optional[dict] = None,
+) -> MRCluster:
+    """Build a co-located FS + MapReduce cluster.
+
+    ``straggler_count`` trackers (the last ones) run ``straggler_factor``
+    times slower — the LATE experiment's fault injection.
+    ``jobtracker_factory(address, policy, seed)`` may substitute the
+    imperative baseline JobTracker; ``fs_kind`` may be "hadoop" for the
+    baseline filesystem.
+    """
+    cluster = Cluster(
+        seed=seed, latency=latency or LatencyModel(1, 2, kb_per_ms=2000)
+    )
+
+    if fs_kind == "boomfs":
+        cluster.add(BoomFSMaster("master", replication=replication))
+    elif fs_kind == "hadoop":
+        from ..hadoop.hdfs import BaselineNameNode
+
+        cluster.add(BaselineNameNode("master", replication=replication))
+    else:
+        raise ValueError(f"unknown fs_kind {fs_kind!r}")
+    fs_masters = ["master"]
+
+    datanodes = [
+        cluster.add(DataNode(f"dn{i}", masters=fs_masters, heartbeat_ms=400))
+        for i in range(num_trackers)
+    ]
+
+    if jobtracker_factory is None:
+        jobtracker = cluster.add(
+            JobTracker("jobtracker", policy=policy, seed=seed, **(jt_kwargs or {}))
+        )
+    else:
+        jobtracker = cluster.add(jobtracker_factory("jobtracker", policy, seed))
+
+    trackers = []
+    for i in range(num_trackers):
+        slow = i >= num_trackers - straggler_count
+        trackers.append(
+            cluster.add(
+                TaskTracker(
+                    f"tt{i}",
+                    jobtracker="jobtracker",
+                    fs_masters=fs_masters,
+                    map_slots=map_slots,
+                    reduce_slots=reduce_slots,
+                    speed_factor=straggler_factor if slow else 1.0,
+                    local_datanode=f"dn{i}",
+                )
+            )
+        )
+        # DataNode i and TaskTracker i share a machine (Hadoop deployment
+        # convention): transfers between them bypass the wire.
+        cluster.network.colocate([f"dn{i}", f"tt{i}"])
+
+    fs_client = cluster.add(BoomFSClient("fs-client", masters=fs_masters))
+    cluster.run_for(warmup_ms)  # DataNodes register, trackers heartbeat
+    return MRCluster(
+        cluster=cluster,
+        jobtracker=jobtracker,
+        trackers=trackers,
+        fs_client=fs_client,
+        fs_masters=fs_masters,
+        datanodes=datanodes,
+        dn_to_tracker={f"dn{i}": f"tt{i}" for i in range(num_trackers)},
+    )
+
+
+class JobRunner:
+    """Stages data, submits jobs and harvests results synchronously."""
+
+    def __init__(self, mr: MRCluster):
+        self.mr = mr
+
+    def stage_inputs(self, input_dir: str, datasets: list[bytes]) -> list[str]:
+        fs = self.mr.fs_client
+        fs.makedirs(input_dir)
+        paths = []
+        for i, data in enumerate(datasets):
+            path = f"{input_dir}/part{i:04d}"
+            fs.write(path, data)
+            paths.append(path)
+        return paths
+
+    def locality_hints(self, spec: JobSpec) -> dict[int, list[str]]:
+        """Map task -> trackers colocated with a replica of its input's
+        first chunk (what Hadoop's JobClient computes from block reports)."""
+        hints: dict[int, list[str]] = {}
+        if not self.mr.dn_to_tracker:
+            return hints
+        for task_id, path in enumerate(spec.inputs):
+            try:
+                locs = self.mr.fs_client.chunk_locations(path)
+            except Exception:
+                continue
+            trackers = [
+                self.mr.dn_to_tracker[dn]
+                for dn in locs
+                if dn in self.mr.dn_to_tracker
+            ]
+            if trackers:
+                hints[task_id] = trackers
+        return hints
+
+    def run_job(
+        self,
+        spec: JobSpec,
+        timeout_ms: int = 600_000,
+        use_locality: bool = True,
+    ) -> JobResult:
+        if spec.output_dir is not None:
+            if self.mr.fs_client.exists(spec.output_dir) is None:
+                self.mr.fs_client.makedirs(spec.output_dir)
+        jt = self.mr.jobtracker
+        cluster = self.mr.cluster
+        hints = self.locality_hints(spec) if use_locality else {}
+        job_id = jt.submit(spec, locality=hints)
+        submitted = cluster.now
+        done = cluster.run_until(
+            lambda: jt.is_complete(job_id),
+            max_time_ms=cluster.now + timeout_ms,
+        )
+        if not done:
+            raise TimeoutError(
+                f"job {job_id} incomplete after {timeout_ms}ms: "
+                f"{jt.task_states(job_id)}"
+            )
+        result = JobResult(
+            job_id=job_id,
+            submitted_ms=submitted,
+            completed_ms=jt.completions[job_id],
+        )
+        for (j, t), end in jt.task_completions.items():
+            if j != job_id:
+                continue
+            start = jt.task_launches.get((j, t), submitted)
+            if is_reduce_task(t):
+                result.reduce_times[t] = (start, end)
+            else:
+                result.map_times[t] = (start, end)
+        return result
+
+    def fetch_output(self, output_dir: str) -> dict[str, int]:
+        """Read back reduce outputs (``key\\tvalue`` lines) from the FS."""
+        fs = self.mr.fs_client
+        merged: dict[str, int] = {}
+        for name in fs.ls(output_dir):
+            data = fs.read(f"{output_dir}/{name}")
+            for line in data.decode().splitlines():
+                if not line:
+                    continue
+                key, value = line.rsplit("\t", 1)
+                merged[key] = int(value)
+        return merged
+
+
+def run_wordcount(
+    num_trackers: int = 6,
+    num_maps: int = 12,
+    num_reduces: int = 4,
+    words_per_file: int = 3000,
+    policy: str = "fifo",
+    straggler_count: int = 0,
+    straggler_factor: float = 6.0,
+    seed: int = 0,
+    write_output: bool = True,
+    **cluster_kw: Any,
+) -> tuple[JobResult, dict[str, int], MRCluster]:
+    """End-to-end wordcount: build cluster, stage corpus, run, verify-ready."""
+    from .workloads import wordcount_map, wordcount_reduce
+
+    mr = build_mr_cluster(
+        num_trackers=num_trackers,
+        policy=policy,
+        straggler_count=straggler_count,
+        straggler_factor=straggler_factor,
+        seed=seed,
+        **cluster_kw,
+    )
+    runner = JobRunner(mr)
+    datasets = make_input_files(words_per_file, num_maps, seed=seed)
+    paths = runner.stage_inputs("/in", datasets)
+    spec = JobSpec(
+        job_id=0,
+        inputs=paths,
+        num_reduces=num_reduces,
+        map_func=wordcount_map,
+        reduce_func=wordcount_reduce,
+        output_dir="/out" if write_output else None,
+    )
+    result = runner.run_job(spec)
+    output = runner.fetch_output("/out") if write_output else {}
+    return result, output, mr

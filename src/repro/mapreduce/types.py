@@ -1,0 +1,78 @@
+"""Shared MapReduce types.
+
+A job is specified exactly as in Hadoop's programming model: a map
+function over input records, a reduce function over grouped intermediate
+keys, M input files (one map task each), and R reduce partitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from ..overlog.functions import stable_hash
+
+# Reduce task ids live in a disjoint range from map task ids.
+REDUCE_BASE = 1_000_000
+
+MapFunc = Callable[[int, str], Iterable[tuple[str, int]]]
+ReduceFunc = Callable[[str, list], Iterable[tuple[str, int]]]
+
+
+@dataclass
+class JobSpec:
+    """Everything a TaskTracker needs to execute one job's tasks."""
+
+    job_id: int
+    inputs: list[str]  # one FS path per map task
+    num_reduces: int
+    map_func: MapFunc
+    reduce_func: ReduceFunc
+    output_dir: Optional[str] = None  # reduce output written to FS when set
+
+    @property
+    def num_maps(self) -> int:
+        return len(self.inputs)
+
+    def map_task_ids(self) -> list[int]:
+        return list(range(self.num_maps))
+
+    def reduce_task_ids(self) -> list[int]:
+        return [REDUCE_BASE + r for r in range(self.num_reduces)]
+
+
+def partition_for(key: str, num_reduces: int) -> int:
+    """Deterministic key -> reduce-partition assignment."""
+    return stable_hash(key) % num_reduces
+
+
+def is_reduce_task(task_id: int) -> bool:
+    return task_id >= REDUCE_BASE
+
+
+def reduce_index(task_id: int) -> int:
+    return task_id - REDUCE_BASE
+
+
+@dataclass
+class JobResult:
+    """Filled in by the runner when a job completes."""
+
+    job_id: int
+    submitted_ms: int
+    completed_ms: int
+    map_times: dict[int, tuple[int, int]] = field(default_factory=dict)
+    reduce_times: dict[int, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def duration_ms(self) -> int:
+        return self.completed_ms - self.submitted_ms
+
+    def map_completion_times(self) -> list[int]:
+        """Per-map-task completion offsets from job submit (for CDFs)."""
+        return sorted(end - self.submitted_ms for _, end in self.map_times.values())
+
+    def reduce_completion_times(self) -> list[int]:
+        return sorted(
+            end - self.submitted_ms for _, end in self.reduce_times.values()
+        )

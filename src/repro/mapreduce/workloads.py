@@ -1,0 +1,135 @@
+"""Workloads: map/reduce functions and synthetic corpora.
+
+The paper's experiments run wordcount and grep over a crawl stored in
+(BOOM-)FS.  We generate a Zipf-distributed synthetic corpus with a seeded
+RNG — same skewed key distribution, fully reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+# A small closed vocabulary keeps outputs assertable while the Zipf draw
+# preserves realistic skew (a few very hot words, a long tail).
+_VOCABULARY = [
+    "the", "of", "and", "to", "data", "cloud", "query", "log", "rule",
+    "table", "node", "chunk", "path", "join", "lattice", "fact", "tuple",
+    "event", "clock", "quorum", "ballot", "paxos", "shuffle", "reduce",
+    "map", "task", "tracker", "master", "datalog", "overlog", "bloom",
+    "analytics", "declarative", "fixpoint", "stratum", "timestep",
+]
+
+
+def zipf_corpus(
+    words: int, seed: int = 0, exponent: float = 1.2, words_per_line: int = 10
+) -> bytes:
+    """Generate ``words`` Zipf-distributed words as newline-separated text."""
+    rng = random.Random(seed)
+    n = len(_VOCABULARY)
+    weights = [1.0 / (rank**exponent) for rank in range(1, n + 1)]
+    total = sum(weights)
+    weights = [w / total for w in weights]
+    lines = []
+    line: list[str] = []
+    for _ in range(words):
+        line.append(rng.choices(_VOCABULARY, weights)[0])
+        if len(line) >= words_per_line:
+            lines.append(" ".join(line))
+            line = []
+    if line:
+        lines.append(" ".join(line))
+    return "\n".join(lines).encode()
+
+
+def make_input_files(words_per_file: int, num_files: int, seed: int = 0):
+    """One corpus chunk per map task."""
+    return [
+        zipf_corpus(words_per_file, seed=seed * 1000 + i) for i in range(num_files)
+    ]
+
+
+# -- wordcount ---------------------------------------------------------------
+
+
+def wordcount_map(_lineno: int, line: str) -> Iterable[tuple[str, int]]:
+    for word in line.split():
+        yield word, 1
+
+
+def wordcount_reduce(key: str, values: list) -> Iterable[tuple[str, int]]:
+    yield key, sum(values)
+
+
+def local_wordcount(datasets: list[bytes]) -> dict[str, int]:
+    """Single-node reference implementation (ground truth for tests)."""
+    counts: dict[str, int] = {}
+    for data in datasets:
+        for line in data.decode().splitlines():
+            for word in line.split():
+                counts[word] = counts.get(word, 0) + 1
+    return counts
+
+
+# -- grep --------------------------------------------------------------------
+
+
+def make_grep_map(pattern: str):
+    import re
+
+    compiled = re.compile(pattern)
+
+    def grep_map(_lineno: int, line: str) -> Iterable[tuple[str, int]]:
+        if compiled.search(line):
+            yield line, 1
+
+    return grep_map
+
+
+def grep_reduce(key: str, values: list) -> Iterable[tuple[str, int]]:
+    yield key, sum(values)
+
+
+def local_grep(datasets: list[bytes], pattern: str) -> dict[str, int]:
+    import re
+
+    compiled = re.compile(pattern)
+    counts: dict[str, int] = {}
+    for data in datasets:
+        for line in data.decode().splitlines():
+            if compiled.search(line):
+                counts[line] = counts.get(line, 0) + 1
+    return counts
+
+
+# -- distributed sort (terasort-shaped) ---------------------------------------
+
+
+def sort_map(lineno: int, line: str) -> Iterable[tuple[str, int]]:
+    """Identity map keyed by the record itself; the shuffle's hash
+    partitioning plus each reducer's in-partition sort yields a total
+    order *within* partitions (classic MapReduce sort without a sampled
+    range partitioner)."""
+    if line:
+        yield line, 1
+
+
+def sort_reduce(key: str, values: list) -> Iterable[tuple[str, int]]:
+    yield key, sum(values)  # duplicates preserved as counts
+
+
+def random_records(count: int, seed: int = 0, width: int = 12) -> bytes:
+    """Fixed-width random records, one per line (sort input)."""
+    rng = random.Random(seed)
+    alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+    return "\n".join(
+        "".join(rng.choice(alphabet) for _ in range(width))
+        for _ in range(count)
+    ).encode()
+
+
+def local_sort(datasets: list[bytes]) -> list[str]:
+    records = []
+    for data in datasets:
+        records.extend(l for l in data.decode().splitlines() if l)
+    return sorted(set(records))

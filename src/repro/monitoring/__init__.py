@@ -1,0 +1,37 @@
+"""Monitoring-as-metaprogramming (the paper's monitoring revision).
+
+Programs are relations over rules, so instrumentation (rule tracing,
+relation tracing) and consistency checking (invariant rules) are program
+rewrites, not code changes.
+"""
+
+from .bloomunit import DeclarativeTest, TestResult
+from .invariants import (
+    BOOMFS_INVARIANTS,
+    PAXOS_INVARIANTS,
+    InvariantMonitor,
+    boomfs_invariants_program,
+    paxos_invariants_program,
+    with_invariants,
+)
+from .rewrite import (
+    TRACE_RELATION,
+    TraceCollector,
+    add_relation_tracing,
+    add_rule_tracing,
+)
+
+__all__ = [
+    "BOOMFS_INVARIANTS",
+    "DeclarativeTest",
+    "TestResult",
+    "InvariantMonitor",
+    "PAXOS_INVARIANTS",
+    "TRACE_RELATION",
+    "TraceCollector",
+    "add_relation_tracing",
+    "add_rule_tracing",
+    "boomfs_invariants_program",
+    "paxos_invariants_program",
+    "with_invariants",
+]

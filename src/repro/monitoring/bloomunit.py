@@ -1,0 +1,138 @@
+"""Declarative testing for Overlog programs (BloomUnit-style).
+
+The BOOM project's follow-on work (Alvaro et al., "BloomUnit", DBTest'12)
+observed that if programs are rules, *tests* should be too: a test is a
+scenario of injected tuples plus assertion rules evaluated inside the same
+fixpoint as the program under test.
+
+Conventions:
+
+* assertion rules derive ``test_failed(name, detail)`` — any firing fails
+  the test immediately with that detail;
+* liveness expectations insert into the ``test_expect`` table — after the
+  scenario settles, every name passed in ``expectations`` must be present.
+
+Example::
+
+    spec = '''
+    program fs_spec;
+    event(test_failed, 2);
+    define(test_expect, keys(0), {Str});
+
+    /* safety: no two files may share a path */
+    s1 test_failed("dup-path", P) :- fqpath(P, F1), fqpath(P, F2), F1 != F2;
+    /* liveness: eventually /a/b exists */
+    l1 test_expect("ab-exists") :- fqpath("/a/b", _);
+    '''
+    result = DeclarativeTest(master_program(), spec).run(
+        scenario=[
+            (10, "request", (1, "c", "mkdir", "/a", None)),
+            (20, "request", (2, "c", "mkdir", "/a/b", None)),
+        ],
+        expectations=["ab-exists"],
+        bootstrap={"file": [(0, -1, "", True)],
+                   "repfactor": [(2,)], "dn_timeout": [(3000,)]},
+    )
+    assert result.passed, result.report()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from ..overlog import Program, parse
+from ..overlog.runtime import OverlogRuntime
+
+FAILED_RELATION = "test_failed"
+EXPECT_RELATION = "test_expect"
+
+ScenarioStep = tuple[int, str, tuple]
+
+
+@dataclass
+class TestResult:
+    failures: list[tuple[str, Any]] = field(default_factory=list)
+    met: set = field(default_factory=set)
+    missing: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures and not self.missing
+
+    def report(self) -> str:
+        lines = []
+        for name, detail in self.failures:
+            lines.append(f"FAILED {name}: {detail!r}")
+        for name in self.missing:
+            lines.append(f"NEVER MET {name}")
+        return "\n".join(lines) if lines else "all assertions held"
+
+
+class DeclarativeTest:
+    """A program under test plus an assertion-rule spec."""
+
+    def __init__(self, program: Program | str, spec: Program | str):
+        if isinstance(program, str):
+            program = parse(program)
+        if isinstance(spec, str):
+            spec = parse(spec)
+        self.program = program
+        self.spec = spec
+        self._check_spec(spec)
+
+    @staticmethod
+    def _check_spec(spec: Program) -> None:
+        heads = {r.head.name for r in spec.rules}
+        if not heads & {FAILED_RELATION, EXPECT_RELATION}:
+            raise ValueError(
+                "spec must contain at least one rule deriving "
+                f"{FAILED_RELATION} or {EXPECT_RELATION}"
+            )
+
+    def run(
+        self,
+        scenario: Iterable[ScenarioStep],
+        expectations: Iterable[str] = (),
+        bootstrap: Optional[dict[str, list[tuple]]] = None,
+        settle_ticks: int = 3,
+        address: str = "test",
+        seed: int = 0,
+        extra_functions: Optional[dict] = None,
+    ) -> TestResult:
+        """Execute the scenario against program ∪ spec.
+
+        ``scenario`` steps are (at_ms, relation, row), applied in time
+        order; between steps the runtime runs to quiescence, with
+        assertion rules checked in every fixpoint.
+        """
+        merged = self.program.merged(self.spec)
+        runtime = OverlogRuntime(
+            merged, address=address, seed=seed, extra_functions=extra_functions
+        )
+        for relation, rows in (bootstrap or {}).items():
+            runtime.install(relation, rows)
+        result = TestResult()
+        if runtime.catalog.is_declared(FAILED_RELATION):
+            runtime.watch(
+                FAILED_RELATION, lambda row: result.failures.append(tuple(row))
+            )
+
+        steps = sorted(scenario, key=lambda s: s[0])
+        now = 0
+        for at_ms, relation, row in steps:
+            now = max(now, at_ms)
+            runtime.insert(relation, row)
+            runtime.tick(now=now)
+            while runtime.has_pending_work:
+                runtime.tick(now=now)
+        for _ in range(settle_ticks):
+            now += 1
+            runtime.tick(now=now)
+            while runtime.has_pending_work:
+                runtime.tick(now=now)
+
+        if runtime.catalog.is_materialized(EXPECT_RELATION):
+            result.met = {name for (name,) in runtime.rows(EXPECT_RELATION)}
+        result.missing = [e for e in expectations if e not in result.met]
+        return result

@@ -1,0 +1,86 @@
+"""Declarative invariant checking.
+
+Invariants are just more Overlog: rules whose head is
+``invariant_violation(name, detail)``.  Merging them into a running
+component's program turns every timestep's fixpoint into a consistency
+check — the paper's point that monitoring logic lives at the same
+semantic level as the system itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..overlog import Program, parse
+
+VIOLATION_RELATION = "invariant_violation"
+
+# Canned BOOM-FS metadata invariants, stated over the master's relations.
+BOOMFS_INVARIANTS = """
+program boomfs_invariants;
+event(invariant_violation, 2);
+timer(inv_tick, 1000);
+
+/* every fqpath entry must name a live file */
+iv1 invariant_violation("orphan-fqpath", Path) :-
+        inv_tick(_, _), fqpath(Path, F), notin file(F, _, _, _);
+
+/* every chunk belongs to a live file */
+iv2 invariant_violation("orphan-fchunk", Cid) :-
+        inv_tick(_, _), fchunk(Cid, F, _), notin file(F, _, _, _);
+
+/* every non-root file's parent exists */
+iv3 invariant_violation("dangling-parent", Name) :-
+        inv_tick(_, _), file(F, P, Name, _), F != 0,
+        notin file(P, _, _, _);
+
+/* a file's parent must be a directory */
+iv4 invariant_violation("file-parent", Name) :-
+        inv_tick(_, _), file(F, P, Name, _), F != 0,
+        file(P, _, _, false);
+"""
+
+PAXOS_INVARIANTS = """
+program paxos_invariants;
+event(invariant_violation, 2);
+timer(inv_tick, 1000);
+
+/* the applied cursor never runs ahead of the decided log */
+pv1 invariant_violation("applied-ahead", I) :-
+        inv_tick(_, _), applied(0, N), I := N - 1, I >= 1,
+        notin decided(I, _);
+"""
+
+
+def boomfs_invariants_program() -> Program:
+    return parse(BOOMFS_INVARIANTS)
+
+
+def paxos_invariants_program() -> Program:
+    return parse(PAXOS_INVARIANTS)
+
+
+def with_invariants(program: Program, invariants: Program) -> Program:
+    """Merge invariant rules into a component program."""
+    return program.merged(invariants)
+
+
+@dataclass
+class InvariantMonitor:
+    """Collects invariant violations; optionally raises on the first one."""
+
+    strict: bool = False
+    violations: list[tuple[str, object]] = field(default_factory=list)
+
+    def attach(self, runtime) -> None:
+        runtime.watch(VIOLATION_RELATION, self._record)
+
+    def _record(self, row: tuple) -> None:
+        self.violations.append(row)
+        if self.strict:
+            raise AssertionError(f"invariant violated: {row[0]} ({row[1]!r})")
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations

@@ -1,0 +1,91 @@
+"""PyJOL: an Overlog (distributed Datalog) runtime.
+
+This package reimplements the substrate that BOOM Analytics (EuroSys 2010)
+built on: the JOL runtime for the Overlog language.  Programs are parsed
+from Overlog source text, checked for stratifiability, and executed in
+timesteps with JOL semantics (fixpoint per step, primary-key updates,
+``@location`` network rules, periodic timers, deletion rules).
+
+Quick example::
+
+    from repro.overlog import OverlogRuntime
+
+    rt = OverlogRuntime('''
+        program paths;
+        define(link, keys(0, 1), {Str, Str});
+        define(path, keys(0, 1), {Str, Str});
+        path(X, Y) :- link(X, Y);
+        path(X, Z) :- link(X, Y), path(Y, Z);
+    ''')
+    rt.insert_many("link", [("a", "b"), ("b", "c")])
+    rt.tick()
+    assert ("a", "c") in rt.rows("path")
+"""
+
+from .ast import (
+    AggSpec,
+    Assign,
+    Atom,
+    BinOp,
+    Cond,
+    Const,
+    EventDecl,
+    FuncCall,
+    NotIn,
+    Program,
+    Rule,
+    TableDecl,
+    TimerDecl,
+    UnOp,
+    Var,
+)
+from .catalog import Catalog, Table
+from .errors import (
+    CatalogError,
+    EvaluationError,
+    LexError,
+    OverlogError,
+    ParseError,
+    StratificationError,
+    UnknownFunctionError,
+)
+from .eval import Evaluator, StepResult
+from .functions import FunctionLibrary
+from .parser import parse, parse_with_watches
+from .runtime import OverlogRuntime
+from .strata import check_program, compute_strata
+
+__all__ = [
+    "AggSpec",
+    "Assign",
+    "Atom",
+    "BinOp",
+    "Catalog",
+    "CatalogError",
+    "Cond",
+    "Const",
+    "EvaluationError",
+    "Evaluator",
+    "EventDecl",
+    "FuncCall",
+    "FunctionLibrary",
+    "LexError",
+    "NotIn",
+    "OverlogError",
+    "OverlogRuntime",
+    "ParseError",
+    "Program",
+    "Rule",
+    "StepResult",
+    "StratificationError",
+    "Table",
+    "TableDecl",
+    "TimerDecl",
+    "UnOp",
+    "UnknownFunctionError",
+    "Var",
+    "check_program",
+    "compute_strata",
+    "parse",
+    "parse_with_watches",
+]

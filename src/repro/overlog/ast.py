@@ -1,0 +1,365 @@
+"""Abstract syntax tree for the Overlog dialect.
+
+The dialect follows P2/JOL conventions:
+
+* relation and function names start with a lowercase letter,
+* variables start with an uppercase letter (``_`` is an anonymous variable),
+* ``@Var`` in an atom marks the location-specifier column,
+* rule heads may contain aggregate specs such as ``count<X>``,
+* body elements are positive atoms, ``notin``-negated atoms, assignments
+  (``X := expr``) and boolean conditions.
+
+Every node is an immutable dataclass so that programs can be hashed,
+compared, and safely rewritten by the metaprogramming layer
+(:mod:`repro.monitoring.rewrite`), which produces new trees instead of
+mutating existing ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
+
+AGGREGATE_FUNCS = ("count", "sum", "min", "max", "avg", "list")
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Var:
+    """A variable reference.  ``_`` is the anonymous wildcard."""
+
+    name: str
+
+    @property
+    def is_wildcard(self) -> bool:
+        return self.name == "_"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    """A literal constant: int, float, str, bool or None (``nil``)."""
+
+    value: Union[int, float, str, bool, None]
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return '"' + self.value + '"'
+        if self.value is None:
+            return "nil"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    """A call to a builtin function, e.g. ``f_concat_path(Base, Name)``."""
+
+    name: str
+    args: tuple["Expr", ...]
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """A binary operation over two sub-expressions."""
+
+    op: str  # + - * / % == != < <= > >= && ||
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnOp:
+    """A unary operation (numeric negation or boolean ``!``)."""
+
+    op: str  # - !
+    operand: "Expr"
+
+    def __str__(self) -> str:
+        return f"{self.op}{self.operand}"
+
+
+Expr = Union[Var, Const, FuncCall, BinOp, UnOp]
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """An aggregate head argument, e.g. ``count<ChunkId>``.
+
+    ``var`` may be a wildcard for ``count<*>`` (count of groups rows).
+    """
+
+    func: str  # one of AGGREGATE_FUNCS
+    var: Var
+
+    def __str__(self) -> str:
+        return f"{self.func}<{self.var}>"
+
+
+HeadArg = Union[Expr, AggSpec]
+
+
+# ---------------------------------------------------------------------------
+# Atoms and body elements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A predicate occurrence ``name(arg0, ..., argN)``.
+
+    ``loc`` gives the index of the argument carrying the ``@`` location
+    specifier, or ``None`` for purely local atoms.
+    """
+
+    name: str
+    args: tuple[HeadArg, ...]
+    loc: Optional[int] = None
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def arg_str(self, i: int) -> str:
+        prefix = "@" if self.loc == i else ""
+        return prefix + str(self.args[i])
+
+    def __str__(self) -> str:
+        inner = ", ".join(self.arg_str(i) for i in range(len(self.args)))
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class NotIn:
+    """A negated body atom: ``notin name(args)``."""
+
+    atom: Atom
+
+    def __str__(self) -> str:
+        return f"notin {self.atom}"
+
+
+@dataclass(frozen=True)
+class Assign:
+    """A body assignment ``Var := expr``; binds ``var`` when evaluated."""
+
+    var: Var
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"{self.var} := {self.expr}"
+
+
+@dataclass(frozen=True)
+class Cond:
+    """A body condition; the expression must evaluate truthy to keep the
+    candidate binding."""
+
+    expr: Expr
+
+    def __str__(self) -> str:
+        return str(self.expr)
+
+
+BodyElem = Union[Atom, NotIn, Assign, Cond]
+
+
+# ---------------------------------------------------------------------------
+# Rules and declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A single Overlog rule.
+
+    ``delete`` marks deletion rules (``delete head :- body``) whose derived
+    head tuples are *removed* from the head table at the end of the
+    timestep instead of inserted.
+
+    ``deferred`` marks ``@next`` rules (``head(...)@next :- body``): the
+    derived tuples take effect at the start of the *next* timestep instead
+    of immediately.  Deferred rules contribute no edges to the stratification
+    graph — they are how Overlog state-machine programs break
+    read-check/update cycles (Dedalus-style temporal stratification).
+    """
+
+    name: str
+    head: Atom
+    body: tuple[BodyElem, ...]
+    delete: bool = False
+    deferred: bool = False
+
+    @property
+    def is_aggregate(self) -> bool:
+        return any(isinstance(a, AggSpec) for a in self.head.args)
+
+    def positive_atoms(self) -> tuple[Atom, ...]:
+        return tuple(e for e in self.body if isinstance(e, Atom))
+
+    def negated_atoms(self) -> tuple[Atom, ...]:
+        return tuple(e.atom for e in self.body if isinstance(e, NotIn))
+
+    def __str__(self) -> str:
+        kw = "delete " if self.delete else ""
+        suffix = "@next" if self.deferred else ""
+        body = ", ".join(str(e) for e in self.body)
+        return f"{self.name} {kw}{self.head}{suffix} :- {body};"
+
+
+@dataclass(frozen=True)
+class TableDecl:
+    """``define(name, keys(...), {Type, ...});`` — a materialized table.
+
+    ``keys`` lists primary-key column indices.  An empty key tuple means the
+    whole row is the key (set semantics).  ``types`` are informational
+    strings (``Int``, ``Str``, ...) checked loosely on insert.
+    """
+
+    name: str
+    keys: tuple[int, ...]
+    types: tuple[str, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.types)
+
+    def __str__(self) -> str:
+        keys = ", ".join(map(str, self.keys))
+        types = ", ".join(self.types)
+        return f"define({self.name}, keys({keys}), {{{types}}});"
+
+
+@dataclass(frozen=True)
+class EventDecl:
+    """``event(name, arity);`` — a transient (non-materialized) relation."""
+
+    name: str
+    arity: int
+
+    def __str__(self) -> str:
+        return f"event({self.name}, {self.arity});"
+
+
+@dataclass(frozen=True)
+class TimerDecl:
+    """``timer(name, period_ms);`` — a periodic event source.
+
+    Each firing inserts a tuple ``name(fire_count, now_ms)`` at the node.
+    """
+
+    name: str
+    period_ms: int
+
+    def __str__(self) -> str:
+        return f"timer({self.name}, {self.period_ms});"
+
+
+Decl = Union[TableDecl, EventDecl, TimerDecl]
+
+
+@dataclass(frozen=True)
+class Program:
+    """A parsed Overlog program: declarations plus rules."""
+
+    name: str
+    decls: tuple[Decl, ...] = ()
+    rules: tuple[Rule, ...] = ()
+
+    def tables(self) -> tuple[TableDecl, ...]:
+        return tuple(d for d in self.decls if isinstance(d, TableDecl))
+
+    def events(self) -> tuple[EventDecl, ...]:
+        return tuple(d for d in self.decls if isinstance(d, EventDecl))
+
+    def timers(self) -> tuple[TimerDecl, ...]:
+        return tuple(d for d in self.decls if isinstance(d, TimerDecl))
+
+    def rule(self, name: str) -> Rule:
+        for r in self.rules:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+    def with_rules(self, rules: tuple[Rule, ...]) -> "Program":
+        """Return a copy of this program with a different rule set (used by
+        metaprogramming rewrites)."""
+        return replace(self, rules=rules)
+
+    def merged(self, other: "Program") -> "Program":
+        """Union of two programs (declarations deduplicated by identity)."""
+        decls = list(self.decls)
+        for d in other.decls:
+            if d not in decls:
+                decls.append(d)
+        return Program(
+            name=f"{self.name}+{other.name}",
+            decls=tuple(decls),
+            rules=self.rules + other.rules,
+        )
+
+    def __str__(self) -> str:
+        parts = [f"program {self.name};"]
+        parts += [str(d) for d in self.decls]
+        parts += [str(r) for r in self.rules]
+        return "\n".join(parts)
+
+
+def expr_vars(e: Union[Expr, AggSpec]) -> set[str]:
+    """Collect the non-wildcard variable names referenced by an expression."""
+    out: set[str] = set()
+    _collect_vars(e, out)
+    return out
+
+
+def _collect_vars(e: Union[Expr, AggSpec], out: set[str]) -> None:
+    if isinstance(e, Var):
+        if not e.is_wildcard:
+            out.add(e.name)
+    elif isinstance(e, AggSpec):
+        _collect_vars(e.var, out)
+    elif isinstance(e, FuncCall):
+        for a in e.args:
+            _collect_vars(a, out)
+    elif isinstance(e, BinOp):
+        _collect_vars(e.left, out)
+        _collect_vars(e.right, out)
+    elif isinstance(e, UnOp):
+        _collect_vars(e.operand, out)
+
+
+def atom_vars(atom: Atom) -> set[str]:
+    """Collect all non-wildcard variables in an atom's arguments."""
+    out: set[str] = set()
+    for a in atom.args:
+        _collect_vars(a, out)
+    return out
+
+
+def rule_vars(rule: Rule) -> set[str]:
+    """Collect all non-wildcard variables appearing anywhere in a rule."""
+    out: set[str] = set()
+    for a in rule.head.args:
+        _collect_vars(a, out)
+    for e in rule.body:
+        if isinstance(e, Atom):
+            out |= atom_vars(e)
+        elif isinstance(e, NotIn):
+            out |= atom_vars(e.atom)
+        elif isinstance(e, Assign):
+            out.add(e.var.name)
+            _collect_vars(e.expr, out)
+        elif isinstance(e, Cond):
+            _collect_vars(e.expr, out)
+    return out

@@ -1,0 +1,208 @@
+"""Table catalog and tuple storage for the Overlog runtime.
+
+Materialized tables follow P2 semantics: each table has a primary key (a
+subset of columns); inserting a row whose key collides with an existing row
+*replaces* that row.  An empty key spec means the whole row is the key,
+giving plain set semantics.
+
+Event relations are transient: their tuples live only for the duration of a
+single timestep and are managed by the evaluator, not stored here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from .ast import EventDecl, Program, TableDecl, TimerDecl
+from .errors import CatalogError
+
+Row = tuple
+
+_TYPE_CHECKS = {
+    "Int": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "Float": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "Str": lambda v: isinstance(v, str),
+    "String": lambda v: isinstance(v, str),
+    "Bool": lambda v: isinstance(v, bool),
+    "List": lambda v: isinstance(v, tuple),
+    "Any": lambda v: True,
+}
+
+
+@dataclass
+class InsertResult:
+    """Outcome of a table insert."""
+
+    inserted: bool  # True if the table changed
+    displaced: Optional[Row] = None  # row replaced by a primary-key update
+
+
+class Table:
+    """A single materialized relation with primary-key update semantics."""
+
+    def __init__(self, decl: TableDecl):
+        if any(k < 0 or k >= decl.arity for k in decl.keys):
+            raise CatalogError(
+                f"table {decl.name}: key column out of range for arity {decl.arity}"
+            )
+        self.decl = decl
+        self.name = decl.name
+        self._rows: dict[Row, Row] = {}
+        # Lazily-built secondary hash indexes (column -> value -> rows),
+        # used by the evaluator for bound-column joins; maintained on
+        # every insert/delete once built.
+        self._indexes: dict[int, dict] = {}
+
+    def _key_of(self, row: Row) -> Row:
+        if not self.decl.keys:
+            return row
+        return tuple(row[k] for k in self.decl.keys)
+
+    def _check_row(self, row: Row) -> None:
+        if len(row) != self.decl.arity:
+            raise CatalogError(
+                f"table {self.name}: arity mismatch, expected "
+                f"{self.decl.arity} got {len(row)}: {row!r}"
+            )
+        for value, tname in zip(row, self.decl.types):
+            check = _TYPE_CHECKS.get(tname)
+            if check is not None and value is not None and not check(value):
+                raise CatalogError(
+                    f"table {self.name}: value {value!r} is not of type {tname}"
+                )
+
+    def insert(self, row: Row) -> InsertResult:
+        """Insert ``row``; a primary-key collision replaces the old row."""
+        self._check_row(row)
+        key = self._key_of(row)
+        old = self._rows.get(key)
+        if old == row:
+            return InsertResult(inserted=False)
+        self._rows[key] = row
+        for column, index in self._indexes.items():
+            if old is not None:
+                bucket = index.get(old[column])
+                if bucket is not None:
+                    bucket.discard(old)
+            index.setdefault(row[column], set()).add(row)
+        return InsertResult(inserted=True, displaced=old)
+
+    def delete(self, row: Row) -> bool:
+        """Delete ``row`` if present (exact match).  Returns True on change."""
+        key = self._key_of(row)
+        if self._rows.get(key) == row:
+            del self._rows[key]
+            for column, index in self._indexes.items():
+                bucket = index.get(row[column])
+                if bucket is not None:
+                    bucket.discard(row)
+            return True
+        return False
+
+    def rows_matching(self, column: int, value) -> list[Row]:
+        """Rows whose ``column`` equals ``value``, via a hash index built
+        on first use for that column."""
+        index = self._indexes.get(column)
+        if index is None:
+            index = {}
+            for row in self._rows.values():
+                index.setdefault(row[column], set()).add(row)
+            self._indexes[column] = index
+        return list(index.get(value, ()))
+
+    def contains(self, row: Row) -> bool:
+        return self._rows.get(self._key_of(row)) == row
+
+    def lookup_key(self, key: Row) -> Optional[Row]:
+        """Fetch the row stored under a primary key, or None."""
+        return self._rows.get(key)
+
+    def scan(self) -> Iterator[Row]:
+        # Snapshot: evaluation may insert into this table mid-scan.
+        return iter(list(self._rows.values()))
+
+    def clear(self) -> None:
+        self._rows.clear()
+        self._indexes.clear()
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return self.scan()
+
+
+class Catalog:
+    """The set of relations known to one runtime instance.
+
+    Built from one or more programs; relation names are global, so two
+    programs loaded into the same runtime share tables with matching
+    declarations (conflicting redeclarations are rejected).
+    """
+
+    def __init__(self):
+        self.tables: dict[str, Table] = {}
+        self.events: dict[str, EventDecl] = {}
+        self.timers: dict[str, TimerDecl] = {}
+
+    def load(self, program: Program) -> None:
+        for decl in program.decls:
+            if isinstance(decl, TableDecl):
+                self._add_table(decl)
+            elif isinstance(decl, EventDecl):
+                self._add_event(decl)
+            elif isinstance(decl, TimerDecl):
+                self._add_timer(decl)
+
+    def _add_table(self, decl: TableDecl) -> None:
+        if decl.name in self.events or decl.name in self.timers:
+            raise CatalogError(f"{decl.name} already declared as an event/timer")
+        existing = self.tables.get(decl.name)
+        if existing is not None:
+            if existing.decl != decl:
+                raise CatalogError(f"conflicting redefinition of table {decl.name}")
+            return
+        self.tables[decl.name] = Table(decl)
+
+    def _add_event(self, decl: EventDecl) -> None:
+        if decl.name in self.tables or decl.name in self.timers:
+            raise CatalogError(f"{decl.name} already declared as a table/timer")
+        existing = self.events.get(decl.name)
+        if existing is not None and existing != decl:
+            raise CatalogError(f"conflicting redefinition of event {decl.name}")
+        self.events[decl.name] = decl
+
+    def _add_timer(self, decl: TimerDecl) -> None:
+        if decl.name in self.tables or decl.name in self.events:
+            raise CatalogError(f"{decl.name} already declared as a table/event")
+        existing = self.timers.get(decl.name)
+        if existing is not None and existing != decl:
+            raise CatalogError(f"conflicting redefinition of timer {decl.name}")
+        self.timers[decl.name] = decl
+
+    def is_materialized(self, name: str) -> bool:
+        return name in self.tables
+
+    def is_event(self, name: str) -> bool:
+        # Timers behave as events at evaluation time: a firing injects a
+        # transient tuple.
+        return name in self.events or name in self.timers
+
+    def is_declared(self, name: str) -> bool:
+        return name in self.tables or self.is_event(name)
+
+    def arity(self, name: str) -> int:
+        if name in self.tables:
+            return self.tables[name].decl.arity
+        if name in self.events:
+            return self.events[name].arity
+        if name in self.timers:
+            return 2  # (fire_count, now_ms)
+        raise CatalogError(f"unknown relation {name}")
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name}") from None

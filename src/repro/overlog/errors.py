@@ -1,0 +1,50 @@
+"""Exception hierarchy for the Overlog runtime.
+
+All engine-raised errors derive from :class:`OverlogError` so callers can
+catch a single type at the public-API boundary.
+"""
+
+from __future__ import annotations
+
+
+class OverlogError(Exception):
+    """Base class for all Overlog runtime errors."""
+
+
+class LexError(OverlogError):
+    """Raised when the lexer encounters an invalid character sequence."""
+
+    def __init__(self, message: str, line: int, col: int):
+        super().__init__(f"{message} (line {line}, col {col})")
+        self.line = line
+        self.col = col
+
+
+class ParseError(OverlogError):
+    """Raised when the parser encounters malformed Overlog source."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        loc = f" (line {line}, col {col})" if line else ""
+        super().__init__(f"{message}{loc}")
+        self.line = line
+        self.col = col
+
+
+class CatalogError(OverlogError):
+    """Raised for schema violations: unknown tables, arity mismatches,
+    duplicate definitions, or primary-key specs out of range."""
+
+
+class StratificationError(OverlogError):
+    """Raised when a program has negation or aggregation inside a recursive
+    cycle and therefore admits no stratified evaluation."""
+
+
+class EvaluationError(OverlogError):
+    """Raised when rule evaluation fails at runtime: unbound variables,
+    bad function calls, or a diverging fixpoint."""
+
+
+class UnknownFunctionError(EvaluationError):
+    """Raised when a rule references a builtin function that is not
+    registered in the function library."""

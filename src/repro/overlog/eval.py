@@ -1,0 +1,736 @@
+"""Stratified, semi-naive fixpoint evaluation of Overlog rules.
+
+One :class:`Evaluator` instance belongs to one runtime (one simulated node)
+and executes *timesteps* in the JOL style:
+
+1. the caller hands it the timestep's inbox (network tuples, timer firings,
+   injected client events),
+2. rules run to fixpoint, stratum by stratum; insertions into materialized
+   tables are visible immediately, primary-key collisions replace,
+3. effects are returned: remote sends (head atoms whose ``@`` location is
+   not the local address), deletions derived by ``delete`` rules (applied
+   at the end of the step), and the set of freshly derived tuples
+   (consumed by watchers).
+
+Event-relation tuples live only inside the step and are discarded when it
+ends.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from .ast import (
+    AggSpec,
+    Assign,
+    Atom,
+    BinOp,
+    Cond,
+    Const,
+    Expr,
+    FuncCall,
+    NotIn,
+    Rule,
+    UnOp,
+    Var,
+)
+from .catalog import Catalog, Row
+from .errors import CatalogError, EvaluationError
+from .functions import FunctionLibrary
+from .strata import compute_strata, rules_by_stratum
+
+# A fixpoint that runs longer than this many semi-naive iterations within a
+# single stratum is assumed to be oscillating through primary-key updates.
+MAX_FIXPOINT_ITERATIONS = 10_000
+
+Env = dict[str, Any]
+
+
+@dataclass
+class StepResult:
+    """Effects of one timestep."""
+
+    sends: list[tuple[Any, str, Row]] = field(default_factory=list)
+    deletions: list[tuple[str, Row]] = field(default_factory=list)
+    deferred_inserts: list[tuple[str, Row]] = field(default_factory=list)
+    deferred_deletes: list[tuple[str, Row]] = field(default_factory=list)
+    fired: dict[str, list[Row]] = field(default_factory=dict)
+    derivation_count: int = 0
+
+    def fired_rows(self, relation: str) -> list[Row]:
+        return self.fired.get(relation, [])
+
+
+def eval_expr(expr: Expr, env: Env, functions: FunctionLibrary) -> Any:
+    """Evaluate an expression under a variable binding environment."""
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Var):
+        if expr.is_wildcard:
+            raise EvaluationError("wildcard _ used where a value is required")
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise EvaluationError(f"unbound variable {expr.name}") from None
+    if isinstance(expr, FuncCall):
+        args = tuple(eval_expr(a, env, functions) for a in expr.args)
+        return functions.call(expr.name, args)
+    if isinstance(expr, UnOp):
+        val = eval_expr(expr.operand, env, functions)
+        if expr.op == "-":
+            return -val
+        if expr.op == "!":
+            return not val
+        raise EvaluationError(f"unknown unary operator {expr.op}")
+    if isinstance(expr, BinOp):
+        return _eval_binop(expr, env, functions)
+    raise EvaluationError(f"cannot evaluate {expr!r}")
+
+
+def _eval_binop(expr: BinOp, env: Env, functions: FunctionLibrary) -> Any:
+    op = expr.op
+    if op == "&&":
+        return bool(
+            eval_expr(expr.left, env, functions)
+            and eval_expr(expr.right, env, functions)
+        )
+    if op == "||":
+        return bool(
+            eval_expr(expr.left, env, functions)
+            or eval_expr(expr.right, env, functions)
+        )
+    left = eval_expr(expr.left, env, functions)
+    right = eval_expr(expr.right, env, functions)
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        # Integer operands use integer division (Overlog is int-heavy:
+        # chunk offsets, slot counts); any float operand gives float math.
+        if isinstance(left, int) and isinstance(right, int):
+            return left // right
+        return left / right
+    if op == "%":
+        return left % right
+    if op == "==":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise EvaluationError(f"unknown operator {op}")
+
+
+def match_atom(
+    atom: Atom, row: Row, env: Env, functions: FunctionLibrary
+) -> Optional[Env]:
+    """Try to unify ``row`` with ``atom`` under ``env``.
+
+    Returns the extended environment, or None when the row does not match.
+    Unbound variables bind to the row value; bound variables and constant
+    expressions must compare equal.
+    """
+    if len(row) != len(atom.args):
+        return None
+    new_env: Optional[Env] = None
+    for arg, value in zip(atom.args, row):
+        if isinstance(arg, Var):
+            if arg.is_wildcard:
+                continue
+            current = env if new_env is None else new_env
+            if arg.name in current:
+                if current[arg.name] != value:
+                    return None
+            else:
+                if new_env is None:
+                    new_env = dict(env)
+                new_env[arg.name] = value
+        else:
+            expected = eval_expr(arg, env if new_env is None else new_env, functions)
+            if expected != value:
+                return None
+    return env if new_env is None else new_env
+
+
+class Evaluator:
+    """Executes timesteps for a fixed rule set over a catalog."""
+
+    def __init__(
+        self,
+        rules: tuple[Rule, ...],
+        catalog: Catalog,
+        functions: FunctionLibrary,
+        local_address: Any,
+        naive: bool = False,
+    ):
+        self.catalog = catalog
+        self.functions = functions
+        self.local_address = local_address
+        # Naive mode re-evaluates every rule against the full database on
+        # every iteration (no delta restriction, no cross-step activity
+        # gating).  It exists to validate the semi-naive optimization
+        # (results must coincide for deterministic programs) and to
+        # measure what the optimization buys (ablation A1/A2).  It is NOT
+        # sound for rules calling nondeterministic builtins (f_uid etc.),
+        # which rely on exactly-once firing.
+        self.naive = naive
+        self._validate(rules)
+        strata = compute_strata(rules)
+        self.strata = strata
+        self.stratum_buckets = rules_by_stratum(rules, strata)
+        self.rules = rules
+        # Mutable per-step state.
+        self._event_pool: dict[str, set[Row]] = {}
+        self._result: StepResult = StepResult()
+        self._seen_sends: set[tuple[Any, str, Row]] = set()
+        self._pending_deletes: set[tuple[str, Row]] = set()
+        self._seen_deferred: set[tuple[bool, str, Row]] = set()
+        # Incremental cross-step evaluation.  Monotone growth is handled
+        # row-wise: every insertion this step lands in ``_accumulated`` and
+        # is delta-joined into each stratum exactly once.  Non-monotone
+        # changes (deletions, primary-key displacement, out-of-band
+        # installs) cannot be handled by insert deltas — relations they
+        # touch go into ``_full_dirty_pending`` and every rule reading them
+        # is fully re-evaluated on the next step.  Everything starts fully
+        # dirty so bootstrap facts are seen.
+        self._full_dirty_pending: set[str] = {
+            *catalog.tables,
+            *catalog.events,
+            *catalog.timers,
+        }
+        self._full_dirty: set[str] = set()
+        self._accumulated: dict[str, set[Row]] = {}
+        self._active: set[str] = set()
+
+    # -- validation ---------------------------------------------------------
+
+    def _validate(self, rules: tuple[Rule, ...]) -> None:
+        for rule in rules:
+            for atom in (rule.head, *rule.positive_atoms(), *rule.negated_atoms()):
+                if not self.catalog.is_declared(atom.name):
+                    raise CatalogError(
+                        f"rule {rule.name}: relation {atom.name!r} is not declared"
+                    )
+                expected = self.catalog.arity(atom.name)
+                if atom.arity != expected:
+                    raise CatalogError(
+                        f"rule {rule.name}: {atom.name} used with arity "
+                        f"{atom.arity}, declared {expected}"
+                    )
+            if rule.delete:
+                if not self.catalog.is_materialized(rule.head.name):
+                    raise CatalogError(
+                        f"rule {rule.name}: delete head {rule.head.name!r} "
+                        f"must be a materialized table"
+                    )
+                if rule.head.loc is not None:
+                    raise CatalogError(
+                        f"rule {rule.name}: delete rules cannot have a "
+                        f"remote location specifier"
+                    )
+            if rule.deferred and rule.head.loc is not None:
+                raise CatalogError(
+                    f"rule {rule.name}: @next rules cannot have a location "
+                    f"specifier (defer locally, then send)"
+                )
+            if rule.head.name in self.catalog.timers:
+                raise CatalogError(
+                    f"rule {rule.name}: cannot derive timer relation "
+                    f"{rule.head.name!r}"
+                )
+
+    # -- relation access ----------------------------------------------------
+
+    def _rows(self, name: str) -> Iterable[Row]:
+        if self.catalog.is_materialized(name):
+            return self.catalog.table(name).scan()
+        return list(self._event_pool.get(name, ()))
+
+    def rows(self, name: str) -> list[Row]:
+        """Public snapshot of a relation's current contents."""
+        return list(self._rows(name))
+
+    # -- timestep driver ----------------------------------------------------
+
+    def step(
+        self,
+        inbox: Iterable[tuple[str, Row]],
+        pre_deletes: Iterable[tuple[str, Row]] = (),
+    ) -> StepResult:
+        """Run one timestep with the given inbox tuples.
+
+        ``pre_deletes`` (from last step's ``@next`` delete rules) are
+        applied before the fixpoint, so this step's rules see the
+        post-deletion state.
+        """
+        self._event_pool = {}
+        self._result = StepResult()
+        self._seen_sends = set()
+        self._pending_deletes = set()
+        self._seen_deferred = set()
+        self._accumulated = {}
+
+        self._full_dirty = self._full_dirty_pending
+        self._full_dirty_pending = set()
+        self._active = set(self._full_dirty)
+        for rel, row in pre_deletes:
+            if self.catalog.table(rel).delete(tuple(row)):
+                self._result.deletions.append((rel, tuple(row)))
+                self._full_dirty.add(rel)
+                self._active.add(rel)
+        for rel, row in inbox:
+            if not self.catalog.is_declared(rel):
+                raise CatalogError(f"inbox tuple for undeclared relation {rel!r}")
+            self._insert_local(rel, tuple(row))
+
+        for bucket in self.stratum_buckets:
+            if bucket:
+                self._run_stratum(bucket)
+
+        # Apply deletions derived by delete rules.  The fixpoint has already
+        # run, so rules reading these tables must reconsider next step.
+        for rel, row in sorted(self._pending_deletes, key=repr):
+            if self.catalog.table(rel).delete(row):
+                self._result.deletions.append((rel, row))
+                self._full_dirty_pending.add(rel)
+
+        self._event_pool = {}
+        return self._result
+
+    def mark_dirty(self, relation: str) -> None:
+        """Record an out-of-band table mutation (e.g. a bootstrap install)
+        so the next step re-evaluates rules reading ``relation``."""
+        self._full_dirty_pending.add(relation)
+
+    def _rule_is_active(self, rule: Rule) -> bool:
+        for atom in rule.positive_atoms():
+            if atom.name in self._active:
+                return True
+        for atom in rule.negated_atoms():
+            if atom.name in self._active:
+                return True
+        return False
+
+    def _rule_needs_full_eval(self, rule: Rule) -> bool:
+        """A rule must be fully re-evaluated when a relation it reads
+        changed non-monotonically (insert deltas can't express removals)."""
+        for atom in rule.positive_atoms():
+            if atom.name in self._full_dirty:
+                return True
+        for atom in rule.negated_atoms():
+            if atom.name in self._full_dirty:
+                return True
+        return False
+
+    def _insert_local(self, rel: str, row: Row) -> bool:
+        """Insert a tuple locally; returns True when it is new."""
+        if self.catalog.is_materialized(rel):
+            res = self.catalog.table(rel).insert(row)
+            if res.inserted:
+                self._record_fired(rel, row)
+                self._active.add(rel)
+                self._accumulated.setdefault(rel, set()).add(row)
+                if res.displaced is not None:
+                    # A primary-key update removed a row: negation readers
+                    # in earlier strata (or earlier steps) may now derive —
+                    # only a full re-evaluation can find those bindings.
+                    self._full_dirty.add(rel)
+                    self._full_dirty_pending.add(rel)
+            return res.inserted
+        pool = self._event_pool.setdefault(rel, set())
+        if row in pool:
+            return False
+        pool.add(row)
+        self._record_fired(rel, row)
+        self._active.add(rel)
+        self._accumulated.setdefault(rel, set()).add(row)
+        return True
+
+    def _record_fired(self, rel: str, row: Row) -> None:
+        self._result.fired.setdefault(rel, []).append(row)
+        self._result.derivation_count += 1
+
+    # -- stratum fixpoint ---------------------------------------------------
+
+    def _run_stratum(self, bucket: tuple[Rule, ...]) -> None:
+        """Fixpoint for one stratum with exactly-once firing per binding.
+
+        Each iteration evaluates rules against a *consistent snapshot*:
+        derived head tuples are staged and dispatched only after every rule
+        has been evaluated, then form the next iteration's delta.  The
+        delta pass uses the textbook semi-naive split (delta at position i,
+        full view before i, pre-delta view after i) so a binding involving
+        several new tuples still fires exactly once.  This matters because
+        builtins like ``f_uid()`` are nondeterministic: re-firing the same
+        binding would mint spurious fresh identifiers.
+        """
+        normal_rules = [r for r in bucket if not r.is_aggregate]
+        agg_rules = [r for r in bucket if r.is_aggregate]
+        if self.naive:
+            self._run_stratum_naive(normal_rules, agg_rules)
+            return
+
+        staged: list[tuple[Rule, str, Row]] = []
+        # Aggregates read only lower strata (guaranteed by stratification),
+        # so one evaluation suffices; their outputs seed the delta.
+        for rule in agg_rules:
+            if not self._rule_is_active(rule):
+                continue
+            for rel, row in self._eval_aggregate_rule(rule):
+                staged.append((rule, rel, row))
+
+        # Iteration 0: rules touching a non-monotonically changed relation
+        # are fully re-evaluated; everything else is delta-joined against
+        # the rows that accumulated this step (inbox plus lower strata),
+        # which is what makes steady-state operations O(delta) rather than
+        # O(database).  The snapshot is taken here because the stratum's
+        # own loop keeps growing ``_accumulated``.
+        acc = {rel: set(rows) for rel, rows in self._accumulated.items()}
+        for rule in normal_rules:
+            if self._rule_needs_full_eval(rule):
+                for rel, row in self._eval_rule(
+                    rule, delta_pos=None, delta_rows=()
+                ):
+                    staged.append((rule, rel, row))
+                continue
+            positives = rule.positive_atoms()
+            for pos, atom in enumerate(positives):
+                rows = acc.get(atom.name)
+                if not rows:
+                    continue
+                for rel, row in self._eval_rule(rule, pos, rows, exclude=acc):
+                    staged.append((rule, rel, row))
+
+        delta = self._apply_staged(staged)
+        iterations = 0
+        while delta:
+            iterations += 1
+            if iterations > MAX_FIXPOINT_ITERATIONS:
+                raise EvaluationError(
+                    "fixpoint did not converge (primary-key oscillation?)"
+                )
+            staged = []
+            for rule in normal_rules:
+                positives = rule.positive_atoms()
+                for pos, atom in enumerate(positives):
+                    if atom.name not in delta:
+                        continue
+                    rows = delta[atom.name]
+                    for rel, row in self._eval_rule(
+                        rule, pos, rows, exclude=delta
+                    ):
+                        staged.append((rule, rel, row))
+            delta = self._apply_staged(staged)
+
+    def _run_stratum_naive(
+        self, normal_rules: list[Rule], agg_rules: list[Rule]
+    ) -> None:
+        """Textbook naive fixpoint: all rules, full database, every round,
+        until a round derives nothing new."""
+        iterations = 0
+        while True:
+            iterations += 1
+            if iterations > MAX_FIXPOINT_ITERATIONS:
+                raise EvaluationError("naive fixpoint did not converge")
+            staged: list[tuple[Rule, str, Row]] = []
+            for rule in agg_rules:
+                staged.extend(
+                    (rule, rel, row)
+                    for rel, row in self._eval_aggregate_rule(rule)
+                )
+            for rule in normal_rules:
+                staged.extend(
+                    (rule, rel, row)
+                    for rel, row in self._eval_rule(
+                        rule, delta_pos=None, delta_rows=()
+                    )
+                )
+            if not self._apply_staged(staged):
+                return
+
+    def _apply_staged(
+        self, staged: list[tuple[Rule, str, Row]]
+    ) -> dict[str, set[Row]]:
+        """Dispatch buffered head tuples; returns the genuinely-new local
+        insertions, which become the next semi-naive delta."""
+        delta: dict[str, set[Row]] = defaultdict(set)
+        for rule, rel, row in staged:
+            if self._dispatch_head(rule, rel, row):
+                delta[rel].add(row)
+        return delta
+
+    def _dispatch_head(self, rule: Rule, rel: str, row: Row) -> bool:
+        """Route a derived head tuple; returns True when it extends the
+        local database (and hence must join the semi-naive delta)."""
+        if rule.deferred:
+            key = (rule.delete, rel, row)
+            if key not in self._seen_deferred:
+                self._seen_deferred.add(key)
+                if rule.delete:
+                    self._result.deferred_deletes.append((rel, row))
+                else:
+                    self._result.deferred_inserts.append((rel, row))
+            return False
+        if rule.delete:
+            self._pending_deletes.add((rel, row))
+            return False
+        head = rule.head
+        if head.loc is not None:
+            dest = row[head.loc]
+            if dest != self.local_address:
+                key = (dest, rel, row)
+                if key not in self._seen_sends:
+                    self._seen_sends.add(key)
+                    self._result.sends.append((dest, rel, row))
+                return False
+        return self._insert_local(rel, row)
+
+    # -- single-rule evaluation ---------------------------------------------
+
+    def _eval_rule(
+        self,
+        rule: Rule,
+        delta_pos: Optional[int],
+        delta_rows: Iterable[Row],
+        exclude: Optional[dict[str, set[Row]]] = None,
+    ) -> list[tuple[str, Row]]:
+        """Evaluate a non-aggregate rule body; returns derived head tuples.
+
+        When ``delta_pos`` is given, the positive atom at that index ranges
+        only over ``delta_rows``; positive atoms *after* it exclude the
+        current delta (``exclude``), completing the exactly-once
+        semi-naive split.
+        """
+        envs = self._body_envs(rule, delta_pos, delta_rows, exclude)
+        out: list[tuple[str, Row]] = []
+        seen_bindings: set[frozenset] = set()
+        for env in envs:
+            # Joins through wildcard columns can produce several *identical*
+            # environments; fire once per distinct binding, or
+            # nondeterministic builtins (f_uid, f_rand) would mint spurious
+            # extra tuples.
+            signature = frozenset(env.items())
+            if signature in seen_bindings:
+                continue
+            seen_bindings.add(signature)
+            row = tuple(
+                eval_expr(arg, env, self.functions) for arg in rule.head.args
+            )
+            out.append((rule.head.name, row))
+        return out
+
+    def _body_envs(
+        self,
+        rule: Rule,
+        delta_pos: Optional[int],
+        delta_rows: Iterable[Row],
+        exclude: Optional[dict[str, set[Row]]] = None,
+    ) -> list[Env]:
+        envs: list[Env] = [{}]
+        pos = 0
+        for elem in rule.body:
+            if not envs:
+                return []
+            if isinstance(elem, Atom):
+                rows: Optional[list[Row]] = None
+                index_plan: Optional[tuple[int, Any]] = None
+                if pos == delta_pos:
+                    rows = list(delta_rows)
+                elif (
+                    delta_pos is not None
+                    and pos > delta_pos
+                    and exclude
+                    and elem.name in exclude
+                ):
+                    banned = exclude[elem.name]
+                    rows = [
+                        r for r in self._rows(elem.name) if r not in banned
+                    ]
+                else:
+                    # Bound-column join: if some argument is a constant or
+                    # an already-bound variable, probe the table's hash
+                    # index instead of scanning.  The bound-variable set is
+                    # identical across envs at a given body position, so
+                    # one plan serves every env.
+                    index_plan = self._index_plan(elem, envs)
+                    if index_plan is None:
+                        rows = list(self._rows(elem.name))
+                new_envs: list[Env] = []
+                # Wildcard columns can match many rows onto the *same*
+                # binding; dedupe eagerly so later (possibly
+                # nondeterministic) assignments fire once per binding.
+                seen: set[frozenset] = set()
+                table = (
+                    self.catalog.table(elem.name)
+                    if index_plan is not None
+                    else None
+                )
+                for env in envs:
+                    if index_plan is not None:
+                        column, arg = index_plan
+                        value = (
+                            arg.value
+                            if isinstance(arg, Const)
+                            else env[arg.name]
+                        )
+                        candidate_rows = table.rows_matching(column, value)
+                    else:
+                        candidate_rows = rows
+                    for row in candidate_rows:
+                        matched = match_atom(elem, row, env, self.functions)
+                        if matched is not None:
+                            signature = frozenset(matched.items())
+                            if signature not in seen:
+                                seen.add(signature)
+                                new_envs.append(matched)
+                envs = new_envs
+                pos += 1
+            elif isinstance(elem, NotIn):
+                neg_plan = self._index_plan(elem.atom, envs)
+                neg_table = (
+                    self.catalog.table(elem.atom.name)
+                    if neg_plan is not None
+                    else None
+                )
+                neg_rows = (
+                    None if neg_plan is not None
+                    else list(self._rows(elem.atom.name))
+                )
+                kept: list[Env] = []
+                for env in envs:
+                    if neg_plan is not None:
+                        column, arg = neg_plan
+                        value = (
+                            arg.value
+                            if isinstance(arg, Const)
+                            else env[arg.name]
+                        )
+                        candidates = neg_table.rows_matching(column, value)
+                    else:
+                        candidates = neg_rows
+                    if not any(
+                        match_atom(elem.atom, row, env, self.functions)
+                        is not None
+                        for row in candidates
+                    ):
+                        kept.append(env)
+                envs = kept
+            elif isinstance(elem, Assign):
+                new_envs = []
+                for env in envs:
+                    value = eval_expr(elem.expr, env, self.functions)
+                    if elem.var.name in env:
+                        if env[elem.var.name] == value:
+                            new_envs.append(env)
+                    else:
+                        extended = dict(env)
+                        extended[elem.var.name] = value
+                        new_envs.append(extended)
+                envs = new_envs
+            elif isinstance(elem, Cond):
+                envs = [
+                    env
+                    for env in envs
+                    if eval_expr(elem.expr, env, self.functions)
+                ]
+            else:  # pragma: no cover - parser prevents this
+                raise EvaluationError(f"unknown body element {elem!r}")
+        return envs
+
+    def _index_plan(
+        self, atom: Atom, envs: list[Env]
+    ) -> Optional[tuple[int, Any]]:
+        """Pick a column of ``atom`` usable as an index probe: a constant
+        argument, or a variable bound by the envs' shared prefix.  Returns
+        (column, arg) or None (then the caller scans)."""
+        if not envs or not self.catalog.is_materialized(atom.name):
+            return None
+        bound = envs[0].keys()
+        for column, arg in enumerate(atom.args):
+            if isinstance(arg, Const):
+                return column, arg
+            if isinstance(arg, Var) and not arg.is_wildcard and arg.name in bound:
+                return column, arg
+        return None
+
+    # -- aggregation ---------------------------------------------------------
+
+    def _eval_aggregate_rule(self, rule: Rule) -> list[tuple[str, Row]]:
+        envs = self._body_envs(rule, delta_pos=None, delta_rows=())
+        head = rule.head
+        group_positions = [
+            i for i, a in enumerate(head.args) if not isinstance(a, AggSpec)
+        ]
+        agg_positions = [i for i, a in enumerate(head.args) if isinstance(a, AggSpec)]
+
+        # Bag aggregation over distinct *bindings* (SQL semantics): the
+        # body evaluator already deduplicates identical environments, so
+        # two different bindings contributing the same value both count —
+        # e.g. sum of chunk sizes where several chunks are equally large.
+        groups: dict[Row, list[Row]] = defaultdict(list)
+        for env in envs:
+            key = tuple(
+                eval_expr(head.args[i], env, self.functions)
+                for i in group_positions
+            )
+            agg_values = []
+            for i in agg_positions:
+                spec = head.args[i]
+                assert isinstance(spec, AggSpec)
+                if spec.var.is_wildcard:
+                    agg_values.append(None)  # count<*>: one per binding
+                else:
+                    agg_values.append(eval_expr(spec.var, env, self.functions))
+            groups[key].append(tuple(agg_values))
+
+        out: list[tuple[str, Row]] = []
+        for key, value_rows in groups.items():
+            row: list[Any] = [None] * len(head.args)
+            for slot, i in enumerate(group_positions):
+                row[i] = key[slot]
+            for slot, i in enumerate(agg_positions):
+                spec = head.args[i]
+                assert isinstance(spec, AggSpec)
+                if spec.var.is_wildcard:
+                    row[i] = len(value_rows)
+                    continue
+                values = [vr[slot] for vr in value_rows]
+                row[i] = _aggregate(spec.func, values)
+            out.append((head.name, tuple(row)))
+        return out
+
+
+def _sort_key(value: Any) -> tuple:
+    return (type(value).__name__, repr(value))
+
+
+def _aggregate(func: str, values: list[Any]) -> Any:
+    if func == "count":
+        return len(values)
+    if func == "sum":
+        return sum(values)
+    if func == "min":
+        return min(values)
+    if func == "max":
+        return max(values)
+    if func == "avg":
+        return sum(values) / len(values)
+    if func == "list":
+        # A deterministic sorted tuple; mixed types fall back to a
+        # type-name/repr ordering so the result is still reproducible.
+        try:
+            return tuple(sorted(values))
+        except TypeError:
+            return tuple(sorted(values, key=_sort_key))
+    raise EvaluationError(f"unknown aggregate {func}")

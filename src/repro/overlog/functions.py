@@ -1,0 +1,150 @@
+"""Builtin function library for Overlog expressions.
+
+Overlog has no user-defined functions; instead the runtime provides a fixed
+set of builtins, all prefixed ``f_`` (the parser relies on this prefix to
+distinguish function calls from predicate atoms).
+
+Pure functions live in :data:`DEFAULT_FUNCTIONS`.  Stateful functions
+(``f_now``, ``f_newid``, ``f_rand``) depend on the runtime's clock, id
+counter and seeded RNG and are registered per-runtime by
+:class:`repro.overlog.runtime.OverlogRuntime`.
+
+Collections are represented as Python tuples so that tuples containing them
+remain hashable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import posixpath
+import re
+from typing import Any, Callable
+
+from .errors import EvaluationError, UnknownFunctionError
+
+
+def stable_hash(value: Any) -> int:
+    """A hash that is stable across processes and runs (unlike ``hash()``).
+
+    Exposed publicly because cluster components outside the Overlog engine
+    (e.g. the partitioned-namespace client) must agree with ``f_hash``.
+    """
+    digest = hashlib.md5(repr(value).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+_stable_hash = stable_hash
+
+
+def f_concat_path(base: str, name: str) -> str:
+    """Join a directory path and a child name, POSIX style."""
+    if base.endswith("/"):
+        return base + name
+    return base + "/" + name
+
+
+def f_dirname(path: str) -> str:
+    return posixpath.dirname(path) or "/"
+
+
+def f_basename(path: str) -> str:
+    return posixpath.basename(path)
+
+
+def f_size(value: Any) -> int:
+    try:
+        return len(value)
+    except TypeError as exc:
+        raise EvaluationError(f"f_size: {value!r} has no length") from exc
+
+
+def f_append(coll: tuple, item: Any) -> tuple:
+    if not isinstance(coll, tuple):
+        raise EvaluationError(f"f_append: {coll!r} is not a list")
+    return coll + (item,)
+
+
+def f_member(coll: tuple, item: Any) -> bool:
+    return item in coll
+
+
+def f_nth(coll: tuple, index: int) -> Any:
+    try:
+        return coll[index]
+    except (IndexError, TypeError) as exc:
+        raise EvaluationError(f"f_nth: bad index {index!r} for {coll!r}") from exc
+
+
+def f_if(cond: Any, then_val: Any, else_val: Any) -> Any:
+    return then_val if cond else else_val
+
+
+def f_match(pattern: str, text: str) -> bool:
+    return re.search(pattern, text) is not None
+
+
+DEFAULT_FUNCTIONS: dict[str, Callable[..., Any]] = {
+    # strings / paths
+    "f_concat_path": f_concat_path,
+    "f_dirname": f_dirname,
+    "f_basename": f_basename,
+    "f_concat": lambda a, b: str(a) + str(b),
+    "f_tostr": lambda v: str(v),
+    "f_toint": lambda v: int(v),
+    "f_substr": lambda s, i, j: s[i:j],
+    "f_startswith": lambda s, prefix: s.startswith(prefix),
+    "f_endswith": lambda s, suffix: s.endswith(suffix),
+    "f_match": f_match,
+    "f_lower": lambda s: s.lower(),
+    # collections (tuples)
+    "f_size": f_size,
+    "f_list": lambda *items: tuple(items),
+    "f_append": f_append,
+    "f_member": f_member,
+    "f_nth": f_nth,
+    "f_flatten": lambda coll: tuple(x for sub in coll for x in sub),
+    "f_take": lambda coll, n: tuple(coll[:n]),
+    "f_project": lambda coll, i: tuple(item[i] for item in coll),
+    # arithmetic
+    "f_abs": abs,
+    "f_min": min,
+    "f_max": max,
+    "f_mod": lambda a, b: a % b,
+    "f_floor": lambda v: math.floor(v),
+    "f_ceil": lambda v: math.ceil(v),
+    "f_pow": lambda a, b: a**b,
+    # misc
+    "f_hash": _stable_hash,
+    "f_hashmod": lambda v, m: _stable_hash(v) % m,
+    "f_if": f_if,
+    "f_is_nil": lambda v: v is None,
+}
+
+
+class FunctionLibrary:
+    """A per-runtime registry mapping function names to Python callables."""
+
+    def __init__(self, extra: dict[str, Callable[..., Any]] | None = None):
+        self._funcs = dict(DEFAULT_FUNCTIONS)
+        if extra:
+            self._funcs.update(extra)
+
+    def register(self, name: str, func: Callable[..., Any]) -> None:
+        if not name.startswith("f_"):
+            raise EvaluationError(f"function name {name!r} must start with 'f_'")
+        self._funcs[name] = func
+
+    def call(self, name: str, args: tuple) -> Any:
+        func = self._funcs.get(name)
+        if func is None:
+            raise UnknownFunctionError(f"unknown builtin function {name}")
+        try:
+            return func(*args)
+        except (EvaluationError, UnknownFunctionError):
+            raise
+        except Exception as exc:
+            raise EvaluationError(f"{name}{args!r} failed: {exc}") from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._funcs

@@ -1,0 +1,166 @@
+"""Hand-rolled tokenizer for Overlog source text.
+
+Produces a flat list of :class:`Token`.  The grammar is small enough that a
+single-pass scanner with one character of lookahead suffices; we avoid
+regex-table tricks to keep error positions exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import LexError
+
+KEYWORDS = {
+    "program",
+    "define",
+    "event",
+    "timer",
+    "delete",
+    "notin",
+    "keys",
+    "watch",
+    "true",
+    "false",
+    "nil",
+}
+
+# Multi-character operators must be listed before their prefixes.
+_OPERATORS = [
+    ":=",
+    ":-",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    "<",
+    ">",
+    ",",
+    ";",
+    "@",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "!",
+    ".",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # IDENT VARIABLE NUMBER STRING OP KEYWORD EOF
+    value: str
+    line: int
+    col: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.value!r})@{self.line}:{self.col}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize Overlog source, stripping ``//`` and ``/* */`` comments."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(k: int) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        # Whitespace
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        # Line comment
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        # Block comment
+        if source.startswith("/*", i):
+            start_line, start_col = line, col
+            advance(2)
+            while i < n and not source.startswith("*/", i):
+                advance(1)
+            if i >= n:
+                raise LexError("unterminated block comment", start_line, start_col)
+            advance(2)
+            continue
+        # String literal
+        if ch == '"':
+            start_line, start_col = line, col
+            advance(1)
+            buf: list[str] = []
+            while i < n and source[i] != '"':
+                if source[i] == "\\" and i + 1 < n:
+                    esc = source[i + 1]
+                    buf.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(esc, esc))
+                    advance(2)
+                else:
+                    buf.append(source[i])
+                    advance(1)
+            if i >= n:
+                raise LexError("unterminated string literal", start_line, start_col)
+            advance(1)
+            tokens.append(Token("STRING", "".join(buf), start_line, start_col))
+            continue
+        # Number (integer or float; leading '-' handled by parser as unary op)
+        if ch.isdigit():
+            start_line, start_col = line, col
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            if j < n and source[j] == "." and j + 1 < n and source[j + 1].isdigit():
+                j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            text = source[i:j]
+            advance(j - i)
+            tokens.append(Token("NUMBER", text, start_line, start_col))
+            continue
+        # Identifier / variable / keyword
+        if ch.isalpha() or ch == "_":
+            start_line, start_col = line, col
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            advance(j - i)
+            if text in KEYWORDS:
+                tokens.append(Token("KEYWORD", text, start_line, start_col))
+            elif text[0].isupper() or text == "_":
+                tokens.append(Token("VARIABLE", text, start_line, start_col))
+            else:
+                tokens.append(Token("IDENT", text, start_line, start_col))
+            continue
+        # Operators and punctuation
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("OP", op, line, col))
+                advance(len(op))
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line, col)
+
+    tokens.append(Token("EOF", "", line, col))
+    return tokens

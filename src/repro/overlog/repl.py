@@ -1,0 +1,161 @@
+"""Interactive Overlog REPL.
+
+Load a program, poke tuples in, tick the clock, inspect tables::
+
+    python -m repro.overlog.repl src/repro/boomfs/programs/boomfs_master.olg
+
+Commands:
+    insert <rel> <v1> <v2> ...   queue a tuple (ints/floats auto-coerced;
+                                 'true'/'false'/'nil' recognized)
+    install <rel> <v1> ...       load a fact directly into a table
+    tick [now_ms]                run one timestep (drains deferred work)
+    dump <rel>                   print a table's rows
+    tables                       list tables with row counts
+    rules                        print the program's rules
+    strata                       print relation strata
+    watch <rel>                  echo future derivations of a relation
+    help / quit
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any
+
+from .errors import OverlogError
+from .parser import parse
+from .runtime import OverlogRuntime
+from .strata import compute_strata
+
+
+def _coerce(token: str) -> Any:
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    if token == "nil":
+        return None
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return token.strip('"')
+
+
+class Repl:
+    def __init__(self, source: str, address: str = "repl"):
+        self.runtime = OverlogRuntime(parse(source), address=address)
+        self._now = 0
+
+    def execute(self, line: str) -> str:
+        parts = line.split()
+        if not parts:
+            return ""
+        cmd, *args = parts
+        handler = getattr(self, f"cmd_{cmd}", None)
+        if handler is None:
+            return f"unknown command {cmd!r}; try 'help'"
+        try:
+            return handler(*args)
+        except OverlogError as exc:
+            return f"error: {exc}"
+        except TypeError as exc:
+            return f"usage error: {exc}"
+
+    def cmd_insert(self, rel: str, *values: str) -> str:
+        self.runtime.insert(rel, tuple(_coerce(v) for v in values))
+        return f"queued {rel}({', '.join(values)})"
+
+    def cmd_install(self, rel: str, *values: str) -> str:
+        self.runtime.install(rel, [tuple(_coerce(v) for v in values)])
+        return f"installed {rel}({', '.join(values)})"
+
+    def cmd_tick(self, now: str = "") -> str:
+        if now:
+            self._now = int(now)
+        else:
+            self._now += 1
+        result = self.runtime.tick(now=self._now)
+        lines = [
+            f"t={self._now}: {result.derivation_count} derivations, "
+            f"{len(result.sends)} sends, {len(result.deletions)} deletions"
+        ]
+        for dest, rel, row in result.sends:
+            lines.append(f"  send -> {dest}: {rel}{row}")
+        steps = 0
+        while self.runtime.has_pending_work and steps < 100:
+            steps += 1
+            follow = self.runtime.tick(now=self._now)
+            lines.append(
+                f"  (+deferred step: {follow.derivation_count} derivations)"
+            )
+            for dest, rel, row in follow.sends:
+                lines.append(f"  send -> {dest}: {rel}{row}")
+        return "\n".join(lines)
+
+    def cmd_dump(self, rel: str) -> str:
+        rows = sorted(self.runtime.rows(rel), key=repr)
+        if not rows:
+            return f"{rel}: (empty)"
+        return "\n".join(f"{rel}{row}" for row in rows)
+
+    def cmd_tables(self) -> str:
+        out = []
+        for name, table in sorted(self.runtime.catalog.tables.items()):
+            out.append(f"{name:24s} {len(table)} rows")
+        return "\n".join(out)
+
+    def cmd_rules(self) -> str:
+        return "\n".join(str(r) for r in self.runtime.program.rules)
+
+    def cmd_strata(self) -> str:
+        strata = compute_strata(self.runtime.program.rules)
+        by_level: dict[int, list[str]] = {}
+        for rel, level in strata.items():
+            by_level.setdefault(level, []).append(rel)
+        return "\n".join(
+            f"stratum {level}: {', '.join(sorted(rels))}"
+            for level, rels in sorted(by_level.items())
+        )
+
+    def cmd_watch(self, rel: str) -> str:
+        self.runtime.watch(rel, lambda row: print(f"  [watch] {rel}{row}"))
+        return f"watching {rel}"
+
+    def cmd_help(self) -> str:
+        return __doc__.split("Commands:", 1)[1]
+
+    def cmd_quit(self) -> str:
+        raise EOFError
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    if len(argv) != 1:
+        print(__doc__)
+        return 2
+    with open(argv[0]) as f:
+        source = f.read()
+    repl = Repl(source)
+    print(f"loaded {argv[0]}: {len(repl.runtime.program.rules)} rules "
+          f"({len(repl.runtime.catalog.tables)} tables). 'help' for commands.")
+    while True:
+        try:
+            line = input("olg> ")
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        try:
+            output = repl.execute(line)
+        except EOFError:
+            return 0
+        if output:
+            print(output)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

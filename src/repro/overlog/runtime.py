@@ -1,0 +1,216 @@
+"""The per-node Overlog runtime ("PyJOL").
+
+An :class:`OverlogRuntime` owns one catalog, one evaluator and one inbox.
+It is deliberately transport-agnostic: callers (the simulator's
+:class:`repro.sim.node.OverlogProcess`, or unit tests) push tuples in with
+:meth:`insert` and drive timesteps with :meth:`tick`, receiving the remote
+sends back in the :class:`StepResult`.
+
+Stateful builtins registered here:
+
+``f_now()``
+    current clock reading (milliseconds of simulated time),
+``f_newid()``
+    a fresh monotonically increasing integer, unique per runtime,
+``f_uid()``
+    a fresh globally readable id string ``"<addr>:<n>"``,
+``f_rand()``
+    a float in [0, 1) from the runtime's seeded RNG,
+``f_randint(n)``
+    an int in [0, n) from the same RNG,
+``f_localaddr()``
+    this runtime's network address.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional
+
+from .ast import Program, Rule
+from .catalog import Catalog, Row
+from .errors import CatalogError
+from .eval import Evaluator, StepResult
+from .functions import FunctionLibrary
+from .parser import parse
+
+
+@dataclass
+class TimerState:
+    name: str
+    period_ms: int
+    next_fire: int
+    fire_count: int = 0
+
+
+class OverlogRuntime:
+    """One node's Overlog engine: program + catalog + inbox + timers."""
+
+    def __init__(
+        self,
+        program: Program | str,
+        address: Any = "localhost",
+        seed: int = 0,
+        extra_functions: Optional[dict[str, Callable[..., Any]]] = None,
+        naive: bool = False,
+    ):
+        if isinstance(program, str):
+            program = parse(program)
+        self.program = program
+        self.address = address
+        self._now = 0
+        self._id_counter = 0
+        self._rng = random.Random(seed)
+
+        self.functions = FunctionLibrary(extra_functions)
+        self.functions.register("f_now", lambda: self._now)
+        self.functions.register("f_newid", self._next_id)
+        self.functions.register("f_uid", lambda: f"{self.address}:{self._next_id()}")
+        self.functions.register("f_rand", self._rng.random)
+        self.functions.register("f_randint", lambda n: self._rng.randrange(n))
+        self.functions.register("f_localaddr", lambda: self.address)
+
+        self.catalog = Catalog()
+        self.catalog.load(program)
+        self.evaluator = Evaluator(
+            program.rules, self.catalog, self.functions, address, naive=naive
+        )
+
+        self._inbox: list[tuple[str, Row]] = []
+        self._deferred_deletes: list[tuple[str, Row]] = []
+        self._watchers: dict[str, list[Callable[[Row], None]]] = {}
+        self.timers: dict[str, TimerState] = {
+            t.name: TimerState(t.name, t.period_ms, next_fire=t.period_ms)
+            for t in self.catalog.timers.values()
+        }
+        self.step_count = 0
+        self.total_derivations = 0
+
+    # -- identifiers ---------------------------------------------------------
+
+    def _next_id(self) -> int:
+        self._id_counter += 1
+        return self._id_counter
+
+    # -- program access (metaprogramming surface) ----------------------------
+
+    def extended(self, extra: Program | str) -> "OverlogRuntime":
+        """Return a new runtime running this program merged with ``extra``
+        (used by the monitoring rewrite; state is *not* carried over)."""
+        if isinstance(extra, str):
+            extra = parse(extra)
+        merged = self.program.merged(extra)
+        return OverlogRuntime(merged, address=self.address)
+
+    @property
+    def rules(self) -> tuple[Rule, ...]:
+        return self.program.rules
+
+    # -- external interface ---------------------------------------------------
+
+    def insert(self, relation: str, row: Iterable[Any]) -> None:
+        """Queue a tuple for the next timestep."""
+        self._inbox.append((relation, tuple(row)))
+
+    def insert_many(self, relation: str, rows: Iterable[Iterable[Any]]) -> None:
+        for row in rows:
+            self.insert(relation, row)
+
+    def install(self, relation: str, rows: Iterable[Iterable[Any]]) -> None:
+        """Directly load facts into a materialized table, outside any
+        timestep (bootstrap data: config, initial directory entries...)."""
+        table = self.catalog.table(relation)
+        for row in rows:
+            table.insert(tuple(row))
+        self.evaluator.mark_dirty(relation)
+
+    def watch(self, relation: str, callback: Callable[[Row], None]) -> None:
+        """Invoke ``callback(row)`` for every tuple newly derived in
+        ``relation``, after each timestep."""
+        if not self.catalog.is_declared(relation):
+            raise CatalogError(f"cannot watch undeclared relation {relation!r}")
+        self._watchers.setdefault(relation, []).append(callback)
+
+    def rows(self, relation: str) -> list[Row]:
+        """Snapshot of a materialized table's contents."""
+        return list(self.catalog.table(relation).scan())
+
+    def lookup(self, relation: str, **col_values: Any) -> list[Row]:
+        """Rows of ``relation`` where column index ``_0``/``_1``/... equals
+        the given value, e.g. ``lookup("file", _1="root")``."""
+        filters = {int(k[1:]): v for k, v in col_values.items()}
+        return [
+            row
+            for row in self.rows(relation)
+            if all(row[i] == v for i, v in filters.items())
+        ]
+
+    # -- timers ----------------------------------------------------------------
+
+    def next_timer_fire(self) -> Optional[int]:
+        """Earliest pending timer deadline, or None when the program has no
+        timers."""
+        if not self.timers:
+            return None
+        return min(t.next_fire for t in self.timers.values())
+
+    def _due_timer_tuples(self, now: int) -> list[tuple[str, Row]]:
+        fired: list[tuple[str, Row]] = []
+        for timer in self.timers.values():
+            while timer.next_fire <= now:
+                timer.fire_count += 1
+                fired.append((timer.name, (timer.fire_count, now)))
+                timer.next_fire += timer.period_ms
+        return fired
+
+    # -- timestep ---------------------------------------------------------------
+
+    @property
+    def has_pending_work(self) -> bool:
+        return bool(self._inbox) or bool(self._deferred_deletes)
+
+    def tick(self, now: Optional[int] = None) -> StepResult:
+        """Run one timestep at simulated time ``now`` (ms).
+
+        Drains the inbox plus any timers due by ``now``.  Returns the step's
+        effects; remote sends must be delivered by the caller.
+        """
+        if now is not None:
+            if now < self._now:
+                raise ValueError(f"clock moved backwards: {now} < {self._now}")
+            self._now = now
+        inbox = self._inbox
+        self._inbox = []
+        inbox.extend(self._due_timer_tuples(self._now))
+        pre_deletes = self._deferred_deletes
+        self._deferred_deletes = []
+        result = self.evaluator.step(inbox, pre_deletes=pre_deletes)
+        # @next derivations become next step's inbox / pre-deletions.
+        self._inbox.extend(result.deferred_inserts)
+        self._deferred_deletes.extend(result.deferred_deletes)
+        self.step_count += 1
+        self.total_derivations += result.derivation_count
+        self._notify_watchers(result)
+        return result
+
+    def run_to_quiescence(self, max_steps: int = 1000) -> list[StepResult]:
+        """Tick repeatedly (same clock reading) until the inbox is empty.
+
+        Only useful for single-node programs; networked programs should be
+        driven by the simulator.
+        """
+        results = []
+        steps = 0
+        while self.has_pending_work:
+            steps += 1
+            if steps > max_steps:
+                raise RuntimeError("runtime did not quiesce")
+            results.append(self.tick())
+        return results
+
+    def _notify_watchers(self, result: StepResult) -> None:
+        for relation, callbacks in self._watchers.items():
+            for row in result.fired_rows(relation):
+                for cb in callbacks:
+                    cb(row)

@@ -1,0 +1,38 @@
+"""Discrete-event simulation substrate.
+
+Replaces the paper's EC2 testbed: a deterministic virtual-time event loop
+(:class:`Simulator`), a message network with latency/loss/partitions
+(:class:`Network`), node abstractions (:class:`Process`,
+:class:`OverlogProcess`) and the top-level :class:`Cluster`.
+
+All time is integer milliseconds; all randomness flows from seeds, so any
+distributed execution in this repository can be replayed exactly.
+"""
+
+from .cluster import Cluster
+from .failure import (
+    CrashEvent,
+    FailureSchedule,
+    PartitionEvent,
+    random_crash_schedule,
+)
+from .network import Address, LatencyModel, Message, Network, NetworkStats
+from .node import OverlogProcess, Process
+from .simulator import EventHandle, Simulator
+
+__all__ = [
+    "Address",
+    "Cluster",
+    "CrashEvent",
+    "EventHandle",
+    "FailureSchedule",
+    "LatencyModel",
+    "Message",
+    "Network",
+    "NetworkStats",
+    "OverlogProcess",
+    "PartitionEvent",
+    "Process",
+    "Simulator",
+    "random_crash_schedule",
+]

@@ -1,0 +1,104 @@
+"""Cluster: the top-level container wiring processes, network and clock.
+
+A :class:`Cluster` is what an experiment script constructs: it owns the
+simulator, the network, and a registry of named processes, and offers
+crash/restart/partition controls used by the availability experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from .network import Address, LatencyModel, Network
+from .node import Process
+from .simulator import Simulator
+
+
+class Cluster:
+    """A simulated cluster of processes."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+    ):
+        self.sim = Simulator()
+        self.network = Network(self.sim, latency=latency, loss_rate=loss_rate, seed=seed)
+        self.seed = seed
+        self.processes: dict[Address, Process] = {}
+
+    # -- membership -----------------------------------------------------------
+
+    def add(self, process: Process) -> Process:
+        if process.address in self.processes:
+            raise ValueError(f"duplicate address {process.address}")
+        self.processes[process.address] = process
+        process.attach(self)
+        self.network.register(process.address, process.handle_message)
+        process.start()
+        return process
+
+    def get(self, address: Address) -> Process:
+        return self.processes[address]
+
+    def addresses(self) -> list[Address]:
+        return list(self.processes)
+
+    # -- failure injection --------------------------------------------------------
+
+    def crash(self, address: Address) -> None:
+        """Fail-stop the node: it stops receiving, sending and ticking.
+        All volatile state is lost."""
+        process = self.processes[address]
+        if process.crashed:
+            return
+        process.crashed = True
+        process.on_crash()
+        self.network.unregister(address)
+
+    def restart(self, address: Address) -> None:
+        """Bring a crashed node back with empty volatile state."""
+        process = self.processes[address]
+        if not process.crashed:
+            return
+        process.crashed = False
+        reset = getattr(process, "reset_for_restart", None)
+        if reset is not None:
+            reset()
+        self.network.register(address, process.handle_message)
+        process.start()
+        on_restart = getattr(process, "on_restart", None)
+        if on_restart is not None:
+            on_restart()
+
+    def crash_at(self, time_ms: int, address: Address) -> None:
+        self.sim.schedule_at(time_ms, lambda: self.crash(address))
+
+    def restart_at(self, time_ms: int, address: Address) -> None:
+        self.sim.schedule_at(time_ms, lambda: self.restart(address))
+
+    def partition(self, *groups: Iterable[Address]) -> None:
+        self.network.partition(*[list(g) for g in groups])
+
+    def heal(self) -> None:
+        self.network.heal()
+
+    def is_up(self, address: Address) -> bool:
+        process = self.processes.get(address)
+        return process is not None and not process.crashed
+
+    # -- running ----------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        return self.sim.now
+
+    def run_for(self, duration_ms: int) -> None:
+        self.sim.run_until(self.sim.now + duration_ms)
+
+    def run_until(self, condition: Callable[[], bool], max_time_ms: int) -> bool:
+        """Run until ``condition()`` holds; True when it was reached."""
+        return self.sim.run_until_condition(
+            condition, max_time_ms=max_time_ms
+        )

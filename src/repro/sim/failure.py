@@ -1,0 +1,86 @@
+"""Failure-schedule helpers for availability experiments.
+
+The paper's availability revision (§Paxos NameNode) is evaluated by
+killing masters mid-run; this module expresses those scenarios as
+declarative schedules applied to a :class:`~repro.sim.cluster.Cluster`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .cluster import Cluster
+from .network import Address
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    at_ms: int
+    address: Address
+    restart_after_ms: Optional[int] = None  # None = stays dead
+
+
+@dataclass(frozen=True)
+class PartitionEvent:
+    at_ms: int
+    groups: tuple[tuple[Address, ...], ...]
+    heal_after_ms: Optional[int] = None
+
+
+@dataclass
+class FailureSchedule:
+    """A reproducible list of crash/partition events."""
+
+    crashes: list[CrashEvent] = field(default_factory=list)
+    partitions: list[PartitionEvent] = field(default_factory=list)
+
+    def crash(
+        self, at_ms: int, address: Address, restart_after_ms: Optional[int] = None
+    ) -> "FailureSchedule":
+        self.crashes.append(CrashEvent(at_ms, address, restart_after_ms))
+        return self
+
+    def partition(
+        self,
+        at_ms: int,
+        *groups: tuple[Address, ...],
+        heal_after_ms: Optional[int] = None,
+    ) -> "FailureSchedule":
+        self.partitions.append(
+            PartitionEvent(at_ms, tuple(tuple(g) for g in groups), heal_after_ms)
+        )
+        return self
+
+    def apply(self, cluster: Cluster) -> None:
+        """Install every event onto the cluster's simulator."""
+        for ev in self.crashes:
+            cluster.crash_at(ev.at_ms, ev.address)
+            if ev.restart_after_ms is not None:
+                cluster.restart_at(ev.at_ms + ev.restart_after_ms, ev.address)
+        for ev in self.partitions:
+            groups = ev.groups
+            cluster.sim.schedule_at(
+                ev.at_ms, lambda g=groups: cluster.partition(*g)
+            )
+            if ev.heal_after_ms is not None:
+                cluster.sim.schedule_at(ev.at_ms + ev.heal_after_ms, cluster.heal)
+
+
+def random_crash_schedule(
+    addresses: list[Address],
+    horizon_ms: int,
+    crash_count: int,
+    seed: int = 0,
+    restart_after_ms: Optional[int] = None,
+) -> FailureSchedule:
+    """Crash ``crash_count`` distinct random nodes at random times —
+    the workhorse of fault-injection tests."""
+    rng = random.Random(seed)
+    schedule = FailureSchedule()
+    victims = rng.sample(addresses, min(crash_count, len(addresses)))
+    for victim in victims:
+        at = rng.randrange(1, max(2, horizon_ms))
+        schedule.crash(at, victim, restart_after_ms=restart_after_ms)
+    return schedule

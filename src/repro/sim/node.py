@@ -1,0 +1,202 @@
+"""Simulated processes (nodes).
+
+Two kinds of node run on the simulator:
+
+* :class:`OverlogProcess` — hosts an :class:`~repro.overlog.runtime.OverlogRuntime`
+  and wires its timestep loop to the virtual clock and network.  This is
+  how every declarative component (BOOM-FS NameNode, Paxos replicas,
+  BOOM-MR JobTracker) executes.
+* :class:`Process` — the imperative base class used by data-plane and
+  baseline components (DataNodes, TaskTrackers, the Hadoop-style stack).
+
+Both communicate exclusively through ``(relation, row)`` messages on the
+simulated network, so declarative and imperative nodes interoperate.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from ..overlog import OverlogRuntime, Program
+from ..overlog.eval import StepResult
+from .network import Address
+from .simulator import EventHandle
+
+if TYPE_CHECKING:
+    from .cluster import Cluster
+
+
+class Process:
+    """Base class for a node attached to a :class:`Cluster`."""
+
+    def __init__(self, address: Address):
+        self.address = address
+        self.cluster: Optional["Cluster"] = None
+        self.crashed = False
+
+    # -- lifecycle, called by the cluster ------------------------------------
+
+    def attach(self, cluster: "Cluster") -> None:
+        self.cluster = cluster
+
+    def start(self) -> None:
+        """Called once when the node joins the cluster (and on restart)."""
+
+    def on_crash(self) -> None:
+        """Called when the node crashes (before it stops receiving)."""
+
+    # -- messaging -------------------------------------------------------------
+
+    def handle_message(self, relation: str, row: tuple) -> None:
+        raise NotImplementedError
+
+    def send(self, dst: Address, relation: str, row: tuple) -> None:
+        assert self.cluster is not None, "process not attached"
+        self.cluster.network.send(self.address, dst, relation, tuple(row))
+
+    # -- time --------------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        assert self.cluster is not None
+        return self.cluster.sim.now
+
+    def after(self, delay_ms: int, action: Callable[[], None]) -> EventHandle:
+        """Schedule ``action`` unless this node has crashed by then."""
+        assert self.cluster is not None
+
+        def guarded() -> None:
+            if not self.crashed:
+                action()
+
+        return self.cluster.sim.schedule(delay_ms, guarded)
+
+
+class OverlogProcess(Process):
+    """A node whose behaviour is an Overlog program.
+
+    The runtime's timestep loop is driven by the simulator: each arriving
+    message (or due timer) schedules a step; each step's remote sends go
+    out through the simulated network.
+
+    CPU service time is modelled by ``step_cost_ms`` (fixed cost per
+    timestep) plus ``per_derivation_cost_us`` (microseconds per derived
+    tuple): after a step, the node is *busy* for that long and the next
+    step cannot start earlier.  Both default to zero (infinitely fast
+    node), which is right for protocol tests; throughput experiments set
+    them to expose the metadata plane as a bottleneck.
+    """
+
+    def __init__(
+        self,
+        address: Address,
+        program: Program | str,
+        seed: int = 0,
+        step_cost_ms: int = 0,
+        per_derivation_cost_us: int = 0,
+        extra_functions: Optional[dict[str, Callable[..., Any]]] = None,
+    ):
+        super().__init__(address)
+        self._program = program
+        self._seed = seed
+        self._extra_functions = extra_functions
+        self.step_cost_ms = step_cost_ms
+        self.per_derivation_cost_us = per_derivation_cost_us
+        self.runtime = self._make_runtime()
+        self._step_pending = False
+        self._busy_until = 0
+        self._timer_handle: Optional[EventHandle] = None
+
+    def _make_runtime(self) -> OverlogRuntime:
+        return OverlogRuntime(
+            self._program,
+            address=self.address,
+            seed=self._seed,
+            extra_functions=self._extra_functions,
+        )
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> None:
+        self.bootstrap()
+        self._schedule_timer_wakeup()
+        self._schedule_step()
+
+    def bootstrap(self) -> None:
+        """Hook: install initial facts into the runtime.  Called at start
+        and again after a restart (which begins from a blank runtime)."""
+
+    def on_restart(self) -> None:
+        """Hook invoked after the runtime has been rebuilt on restart."""
+
+    def reset_for_restart(self) -> None:
+        """Rebuild the runtime from scratch (crash loses soft state)."""
+        self.runtime = self._make_runtime()
+        self._step_pending = False
+        self._busy_until = 0
+        self._timer_handle = None
+
+    def on_crash(self) -> None:
+        if self._timer_handle is not None:
+            self._timer_handle.cancel()
+            self._timer_handle = None
+
+    # -- messaging ----------------------------------------------------------------
+
+    def handle_message(self, relation: str, row: tuple) -> None:
+        self.runtime.insert(relation, row)
+        self._schedule_step()
+
+    def inject(self, relation: str, row: tuple) -> None:
+        """Locally insert an event (e.g. an application request) and wake
+        the node up."""
+        if self.crashed:
+            return
+        self.runtime.insert(relation, tuple(row))
+        self._schedule_step()
+
+    # -- stepping ------------------------------------------------------------------
+
+    def _schedule_step(self) -> None:
+        if self._step_pending or self.crashed or self.cluster is None:
+            return
+        self._step_pending = True
+        delay = max(self.step_cost_ms, self._busy_until - self.now)
+        self.cluster.sim.schedule(delay, self._run_step)
+
+    def _run_step(self) -> None:
+        self._step_pending = False
+        if self.crashed:
+            return
+        result = self.runtime.tick(now=self.now)
+        if self.per_derivation_cost_us:
+            cost_ms = (
+                result.derivation_count * self.per_derivation_cost_us
+            ) // 1000
+            self._busy_until = self.now + self.step_cost_ms + cost_ms
+        self.handle_step_result(result)
+        for dest, relation, row in result.sends:
+            self.send(dest, relation, row)
+        self._schedule_timer_wakeup()
+        # Rules may have produced local events for the next step.
+        if self.runtime.has_pending_work:
+            self._schedule_step()
+
+    def handle_step_result(self, result: StepResult) -> None:
+        """Hook: subclasses react to derived tuples (data-plane bridging)."""
+
+    def _schedule_timer_wakeup(self) -> None:
+        next_fire = self.runtime.next_timer_fire()
+        if next_fire is None or self.crashed or self.cluster is None:
+            return
+        if self._timer_handle is not None and not self._timer_handle.cancelled:
+            if self._timer_handle.time <= next_fire:
+                return
+            self._timer_handle.cancel()
+        delay = max(0, next_fire - self.now)
+        self._timer_handle = self.cluster.sim.schedule(delay, self._timer_fired)
+
+    def _timer_fired(self) -> None:
+        self._timer_handle = None
+        if not self.crashed:
+            self._run_step()

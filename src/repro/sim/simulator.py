@@ -1,0 +1,128 @@
+"""Deterministic discrete-event simulator.
+
+This replaces the EC2 cluster the BOOM Analytics paper ran on: every node,
+network link and failure is driven from a single virtual clock, so entire
+distributed executions are reproducible from one seed.
+
+Time is integer **milliseconds**.  Events scheduled for the same instant
+run in schedule order (a monotone sequence number breaks ties), which keeps
+runs deterministic regardless of hash seeds or dict ordering.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: int
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Returned by :meth:`Simulator.schedule`; allows cancellation."""
+
+    def __init__(self, event: _ScheduledEvent):
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> int:
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+
+class Simulator:
+    """A single-threaded virtual-time event loop."""
+
+    def __init__(self):
+        self.now: int = 0
+        self._queue: list[_ScheduledEvent] = []
+        self._seq = itertools.count()
+        self.events_processed = 0
+
+    def schedule(self, delay_ms: int, action: Callable[[], None]) -> EventHandle:
+        """Run ``action`` ``delay_ms`` milliseconds from now."""
+        if delay_ms < 0:
+            raise ValueError("cannot schedule into the past")
+        return self.schedule_at(self.now + delay_ms, action)
+
+    def schedule_at(self, time_ms: int, action: Callable[[], None]) -> EventHandle:
+        if time_ms < self.now:
+            raise ValueError(
+                f"cannot schedule at {time_ms}, current time is {self.now}"
+            )
+        event = _ScheduledEvent(time=time_ms, seq=next(self._seq), action=action)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def _pop_runnable(self, until: Optional[int]) -> Optional[_ScheduledEvent]:
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                return None
+            event = heapq.heappop(self._queue)
+            if not event.cancelled:
+                return event
+        return None
+
+    def step(self) -> bool:
+        """Process one event; returns False when the queue is empty."""
+        event = self._pop_runnable(until=None)
+        if event is None:
+            return False
+        self.now = event.time
+        self.events_processed += 1
+        event.action()
+        return True
+
+    def run_until(self, time_ms: int) -> None:
+        """Process every event scheduled at or before ``time_ms``; the
+        clock ends exactly at ``time_ms``."""
+        while True:
+            event = self._pop_runnable(until=time_ms)
+            if event is None:
+                break
+            self.now = event.time
+            self.events_processed += 1
+            event.action()
+        self.now = max(self.now, time_ms)
+
+    def run_while(
+        self,
+        predicate: Callable[[], bool],
+        max_time_ms: int,
+    ) -> bool:
+        """Run while ``predicate()`` holds, up to ``max_time_ms``.
+
+        Returns True if the predicate became false (condition reached),
+        False on timeout or queue exhaustion while it still held.
+        """
+        while predicate():
+            event = self._pop_runnable(until=max_time_ms)
+            if event is None:
+                return not predicate()
+            self.now = event.time
+            self.events_processed += 1
+            event.action()
+        return True
+
+    def run_until_condition(
+        self, condition: Callable[[], bool], max_time_ms: int
+    ) -> bool:
+        """Run until ``condition()`` is true; see :meth:`run_while`."""
+        return self.run_while(lambda: not condition(), max_time_ms)
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)

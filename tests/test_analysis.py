@@ -1,0 +1,92 @@
+"""Tests for the analysis toolkit (CDFs, LoC accounting, tables)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    cdf_series,
+    count_olg,
+    count_python_lines,
+    empirical_cdf,
+    percentile,
+    render_table,
+    repo_code_sizes,
+    summarize,
+)
+
+SRC_ROOT = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+class TestCdf:
+    def test_empirical_cdf(self):
+        cdf = empirical_cdf([3, 1, 2, 4])
+        assert cdf == [(1, 0.25), (2, 0.5), (3, 0.75), (4, 1.0)]
+
+    def test_empty(self):
+        assert empirical_cdf([]) == []
+
+    def test_percentiles(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == 50
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 100
+
+    def test_percentile_errors(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 150)
+
+    def test_summary(self):
+        s = summarize([1, 2, 3, 4, 5])
+        assert s["min"] == 1 and s["max"] == 5
+        assert s["mean"] == 3
+
+    def test_cdf_series_downsamples(self):
+        series = cdf_series(list(range(1000)), points=10)
+        assert len(series) <= 12
+        assert series[-1][1] == 1.0
+
+
+class TestLoc:
+    def test_count_python_lines_skips_comments_and_docstrings(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text(
+            '"""Module docstring\nspanning lines."""\n'
+            "# a comment\n"
+            "\n"
+            "def f():\n"
+            '    """doc"""\n'
+            "    return 1  # trailing\n"
+        )
+        # Only `def f():` and `return 1` count: docstrings, comments and
+        # blanks are excluded.
+        assert count_python_lines(f) == 2
+
+    def test_count_olg(self):
+        olg = SRC_ROOT / "boomfs" / "programs" / "boomfs_master.olg"
+        stats = count_olg(olg)
+        assert stats.rules > 30
+        assert stats.tables >= 7
+        assert stats.events >= 10
+        assert 0 < stats.lines < 400
+
+    def test_repo_code_sizes_cover_all_packages(self):
+        sizes = repo_code_sizes(SRC_ROOT)
+        assert {"overlog", "boomfs", "paxos", "mapreduce", "hadoop"} <= set(sizes)
+        assert sizes["boomfs"]["olg_rules"] > 0
+        assert sizes["hadoop"]["olg_rules"] == 0
+        assert sizes["hadoop"]["python_loc"] > 100
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        out = render_table(
+            ["name", "value"], [["alpha", 1], ["b", 22.5]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "-" in lines[2]
+        assert len(lines) == 5

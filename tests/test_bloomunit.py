@@ -1,0 +1,144 @@
+"""Tests for the BloomUnit-style declarative test harness."""
+
+import pytest
+
+from repro.boomfs import master_program
+from repro.monitoring import DeclarativeTest
+from repro.paxos import paxos_program
+
+FS_BOOTSTRAP = {
+    "file": [(0, -1, "", True)],
+    "repfactor": [(2,)],
+    "dn_timeout": [(3000,)],
+}
+
+COUNTER = """
+program counter;
+define(total, keys(0), {Int, Int});
+event(add, 1);
+total(0, V + N)@next :- add(N), total(0, V);
+"""
+
+COUNTER_BOOT = {"total": [(0, 0)]}
+
+
+class TestHarnessBasics:
+    def test_passing_safety_and_liveness(self):
+        spec = """
+        program spec;
+        event(test_failed, 2);
+        define(test_expect, keys(0), {Str});
+        s1 test_failed("negative", V) :- total(0, V), V < 0;
+        l1 test_expect("reaches-5") :- total(0, V), V >= 5;
+        """
+        result = DeclarativeTest(COUNTER, spec).run(
+            scenario=[(1, "add", (2,)), (2, "add", (3,))],
+            expectations=["reaches-5"],
+            bootstrap=COUNTER_BOOT,
+        )
+        assert result.passed, result.report()
+
+    def test_safety_violation_detected(self):
+        spec = """
+        program spec;
+        event(test_failed, 2);
+        s1 test_failed("too-big", V) :- total(0, V), V > 3;
+        """
+        result = DeclarativeTest(COUNTER, spec).run(
+            scenario=[(1, "add", (10,))], bootstrap=COUNTER_BOOT
+        )
+        assert not result.passed
+        assert result.failures[0][0] == "too-big"
+        assert "too-big" in result.report()
+
+    def test_unmet_expectation_detected(self):
+        spec = """
+        program spec;
+        define(test_expect, keys(0), {Str});
+        l1 test_expect("reaches-100") :- total(0, V), V >= 100;
+        """
+        result = DeclarativeTest(COUNTER, spec).run(
+            scenario=[(1, "add", (1,))],
+            expectations=["reaches-100"],
+            bootstrap=COUNTER_BOOT,
+        )
+        assert not result.passed
+        assert result.missing == ["reaches-100"]
+
+    def test_spec_without_assertions_rejected(self):
+        with pytest.raises(ValueError):
+            DeclarativeTest(COUNTER, "program empty;")
+
+
+class TestAgainstRealPrograms:
+    def test_boomfs_path_uniqueness_spec(self):
+        spec = """
+        program fs_spec;
+        event(test_failed, 2);
+        define(test_expect, keys(0), {Str});
+        s1 test_failed("dup-path", P) :- fqpath(P, F1), fqpath(P, F2), F1 != F2;
+        s2 test_failed("orphan", P) :- fqpath(P, F), notin file(F, _, _, _);
+        l1 test_expect("tree-built") :- fqpath("/a/b/c", _);
+        """
+        scenario = [
+            (10, "request", (1, "c", "mkdir", "/a", None)),
+            (20, "request", (2, "c", "mkdir", "/a/b", None)),
+            (30, "request", (3, "c", "mkdir", "/a/b/c", None)),
+            (40, "request", (4, "c", "mkdir", "/a", None)),  # dup: must be rejected
+        ]
+        result = DeclarativeTest(master_program(), spec).run(
+            scenario, expectations=["tree-built"], bootstrap=FS_BOOTSTRAP
+        )
+        assert result.passed, result.report()
+
+    def test_boomfs_spec_catches_injected_corruption(self):
+        spec = """
+        program fs_spec;
+        event(test_failed, 2);
+        s2 test_failed("orphan", P) :- fqpath(P, F), notin file(F, _, _, _);
+        """
+        bootstrap = dict(FS_BOOTSTRAP)
+        bootstrap["fqpath"] = [("/ghost", 99)]
+        result = DeclarativeTest(master_program(), spec).run(
+            scenario=[(10, "request", (1, "c", "exists", "/", None))],
+            bootstrap=bootstrap,
+        )
+        assert not result.passed
+        assert ("orphan", "/ghost") in result.failures
+
+    def test_paxos_single_node_decides(self):
+        spec = """
+        program paxos_spec;
+        event(test_failed, 2);
+        define(test_expect, keys(0), {Str});
+        /* agreement is per-instance uniqueness of decided values */
+        s1 test_failed("dup-decide", I) :- decided(I, V1), decided(I, V2), V1 != V2;
+        l1 test_expect("decided-1") :- decided(1, _);
+        """
+        bootstrap = {
+            "members": [("test",)],
+            "nmembers": [(0, 1)],
+            "quorum": [(0, 1)],
+            "me": [(0, "test")],
+            "my_index": [(0, 0)],
+            "election_timeout": [(0, 100)],
+            "role": [(0, "follower")],
+            "curr_ballot": [(0, 0)],
+            "next_inst": [(0, 1)],
+            "applied": [(0, 1)],
+            "leader_seen": [(0, 0)],
+            "max_promised": [(0, 0)],
+        }
+        # px_tick timer fires at 300ms -> election -> single-node quorum;
+        # then the op decides.
+        result = DeclarativeTest(paxos_program(), spec).run(
+            scenario=[
+                (350, "px_tick", (99, 350)),
+                (400, "client_op", ("test", ("op", 1))),
+                (700, "px_tick", (100, 700)),
+            ],
+            expectations=["decided-1"],
+            bootstrap=bootstrap,
+            extra_functions={"f_localseq": iter(range(1, 10_000)).__next__},
+        )
+        assert result.passed, result.report()

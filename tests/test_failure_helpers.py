@@ -1,0 +1,91 @@
+"""Tests for failure-schedule helpers and network accounting."""
+
+from repro.overlog import OverlogRuntime
+from repro.sim import (
+    Cluster,
+    FailureSchedule,
+    LatencyModel,
+    OverlogProcess,
+    random_crash_schedule,
+)
+
+PROGRAM = "program p; define(x, keys(0), {Int});"
+
+
+def make_cluster(n=5):
+    cluster = Cluster(latency=LatencyModel(1, 1))
+    for i in range(n):
+        cluster.add(OverlogProcess(f"n{i}", PROGRAM))
+    return cluster
+
+
+class TestRandomCrashSchedule:
+    def test_deterministic_for_seed(self):
+        addrs = [f"n{i}" for i in range(5)]
+        a = random_crash_schedule(addrs, horizon_ms=1000, crash_count=3, seed=9)
+        b = random_crash_schedule(addrs, horizon_ms=1000, crash_count=3, seed=9)
+        assert a.crashes == b.crashes
+
+    def test_distinct_victims(self):
+        addrs = [f"n{i}" for i in range(5)]
+        sched = random_crash_schedule(addrs, 1000, crash_count=4, seed=2)
+        victims = [c.address for c in sched.crashes]
+        assert len(set(victims)) == 4
+
+    def test_crash_count_capped_at_population(self):
+        sched = random_crash_schedule(["a", "b"], 1000, crash_count=10, seed=1)
+        assert len(sched.crashes) == 2
+
+    def test_applies_with_restarts(self):
+        cluster = make_cluster()
+        sched = random_crash_schedule(
+            [f"n{i}" for i in range(5)],
+            horizon_ms=500,
+            crash_count=2,
+            seed=3,
+            restart_after_ms=300,
+        )
+        sched.apply(cluster)
+        cluster.run_for(500)
+        downs = [a for a in cluster.addresses() if not cluster.is_up(a)]
+        assert len(downs) <= 2
+        cluster.run_for(1000)
+        assert all(cluster.is_up(a) for a in cluster.addresses())
+
+
+class TestFailureScheduleChaining:
+    def test_builder_chains(self):
+        sched = (
+            FailureSchedule()
+            .crash(10, "n0")
+            .crash(20, "n1", restart_after_ms=5)
+            .partition(30, ("n0",), ("n1", "n2"), heal_after_ms=10)
+        )
+        assert len(sched.crashes) == 2
+        assert len(sched.partitions) == 1
+
+    def test_partition_and_heal_timing(self):
+        cluster = make_cluster(3)
+        FailureSchedule().partition(
+            50, ("n0",), ("n1", "n2"), heal_after_ms=100
+        ).apply(cluster)
+        cluster.run_for(60)
+        assert not cluster.network.can_reach("n0", "n1")
+        assert cluster.network.can_reach("n1", "n2")
+        cluster.run_for(100)
+        assert cluster.network.can_reach("n0", "n1")
+
+
+class TestNetworkAccounting:
+    def test_stats_counted(self):
+        cluster = make_cluster(2)
+        node = cluster.get("n0")
+        node.runtime  # overlog process
+        cluster.network.send("n0", "n1", "x", (1,))
+        cluster.network.send("n0", "nowhere", "x", (2,))
+        cluster.run_for(10)
+        stats = cluster.network.stats
+        assert stats.sent == 2
+        assert stats.delivered == 1
+        assert stats.dropped_dead == 1
+        assert stats.bytes_sent > 0

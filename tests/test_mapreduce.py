@@ -1,0 +1,239 @@
+"""Integration tests for BOOM-MR: the declarative JobTracker, TaskTrackers,
+shuffle, speculation policies, and fault handling."""
+
+import pytest
+
+from repro.mapreduce import (
+    JobRunner,
+    JobSpec,
+    build_mr_cluster,
+    local_grep,
+    local_wordcount,
+    make_grep_map,
+    grep_reduce,
+    make_input_files,
+    run_wordcount,
+    wordcount_map,
+    wordcount_reduce,
+)
+
+
+class TestWordCount:
+    def test_output_matches_local_reference(self):
+        result, output, _ = run_wordcount(
+            num_trackers=4, num_maps=6, num_reduces=3, words_per_file=800, seed=7
+        )
+        expected = local_wordcount(make_input_files(800, 6, seed=7))
+        assert output == expected
+
+    def test_all_tasks_complete(self):
+        result, _, mr = run_wordcount(
+            num_trackers=3, num_maps=5, num_reduces=2, words_per_file=500, seed=1
+        )
+        states = mr.jobtracker.task_states(result.job_id)
+        assert len(states) == 7
+        assert all(s == "done" for s in states.values())
+
+    def test_task_timings_recorded(self):
+        result, _, _ = run_wordcount(
+            num_trackers=3, num_maps=5, num_reduces=2, words_per_file=500, seed=1
+        )
+        assert len(result.map_times) == 5
+        assert len(result.reduce_times) == 2
+        assert all(end >= start for start, end in result.map_times.values())
+        # Reduces cannot finish before the last map (shuffle barrier).
+        last_map = max(end for _, end in result.map_times.values())
+        assert all(end >= last_map for _, end in result.reduce_times.values())
+
+    def test_map_only_job(self):
+        mr = build_mr_cluster(num_trackers=2, seed=2)
+        runner = JobRunner(mr)
+        paths = runner.stage_inputs("/in", make_input_files(300, 3, seed=2))
+        spec = JobSpec(
+            job_id=0,
+            inputs=paths,
+            num_reduces=0,
+            map_func=wordcount_map,
+            reduce_func=wordcount_reduce,
+        )
+        result = runner.run_job(spec)
+        assert len(result.map_times) == 3
+        assert result.reduce_times == {}
+
+    def test_deterministic_given_seed(self):
+        a = run_wordcount(num_trackers=3, num_maps=4, num_reduces=2,
+                          words_per_file=400, seed=9)[0]
+        b = run_wordcount(num_trackers=3, num_maps=4, num_reduces=2,
+                          words_per_file=400, seed=9)[0]
+        assert a.duration_ms == b.duration_ms
+        assert a.map_completion_times() == b.map_completion_times()
+
+
+class TestGrep:
+    def test_grep_matches_local_reference(self):
+        mr = build_mr_cluster(num_trackers=3, seed=4)
+        runner = JobRunner(mr)
+        datasets = make_input_files(600, 4, seed=4)
+        paths = runner.stage_inputs("/in", datasets)
+        spec = JobSpec(
+            job_id=0,
+            inputs=paths,
+            num_reduces=2,
+            map_func=make_grep_map("paxos"),
+            reduce_func=grep_reduce,
+            output_dir="/out",
+        )
+        runner.run_job(spec)
+        output = runner.fetch_output("/out")
+        assert output == local_grep(datasets, "paxos")
+        assert output  # the corpus does contain 'paxos'
+
+
+class TestMultipleJobs:
+    def test_two_jobs_fifo_order(self):
+        mr = build_mr_cluster(num_trackers=3, seed=5)
+        runner = JobRunner(mr)
+        paths1 = runner.stage_inputs("/in1", make_input_files(400, 3, seed=5))
+        paths2 = runner.stage_inputs("/in2", make_input_files(400, 3, seed=6))
+        spec1 = JobSpec(0, paths1, 2, wordcount_map, wordcount_reduce, "/out1")
+        spec2 = JobSpec(0, paths2, 2, wordcount_map, wordcount_reduce, "/out2")
+        r1 = runner.run_job(spec1)
+        r2 = runner.run_job(spec2)
+        assert runner.fetch_output("/out1") == local_wordcount(
+            make_input_files(400, 3, seed=5)
+        )
+        assert runner.fetch_output("/out2") == local_wordcount(
+            make_input_files(400, 3, seed=6)
+        )
+        assert r2.completed_ms > r1.completed_ms
+
+
+class TestSpeculation:
+    def _run(self, policy, seed=3):
+        return run_wordcount(
+            num_trackers=6,
+            num_maps=12,
+            num_reduces=4,
+            words_per_file=2000,
+            policy=policy,
+            straggler_count=2,
+            straggler_factor=8.0,
+            seed=seed,
+        )
+
+    def test_late_beats_fifo_with_stragglers(self):
+        fifo, _, _ = self._run("fifo")
+        late, _, mr = self._run("late")
+        assert late.duration_ms < fifo.duration_ms * 0.8
+        assert len(mr.jobtracker.speculative_attempts(late.job_id)) >= 1
+
+    def test_fifo_never_speculates(self):
+        result, _, mr = self._run("fifo")
+        assert mr.jobtracker.speculative_attempts(result.job_id) == []
+
+    def test_speculation_does_not_change_output(self):
+        _, out_fifo, _ = self._run("fifo")
+        _, out_late, _ = self._run("late")
+        _, out_hadoop, _ = self._run("hadoop")
+        assert out_fifo == out_late == out_hadoop
+
+    def test_at_most_one_backup_per_task(self):
+        result, _, mr = self._run("late")
+        per_task = {}
+        for j, t, a, *_ in mr.jobtracker.attempts(result.job_id):
+            per_task[(j, t)] = max(per_task.get((j, t), 0), a)
+        assert all(a <= 1 for a in per_task.values())
+
+
+class TestFaultTolerance:
+    def test_tracker_crash_mid_job_reschedules(self):
+        mr = build_mr_cluster(num_trackers=4, seed=8)
+        runner = JobRunner(mr)
+        datasets = make_input_files(3000, 8, seed=8)
+        paths = runner.stage_inputs("/in", datasets)
+        spec = JobSpec(0, paths, 3, wordcount_map, wordcount_reduce, "/out")
+        job_id = mr.jobtracker.submit(spec)
+        # Kill a tracker while maps are in flight.
+        mr.cluster.sim.schedule(1000, lambda: mr.cluster.crash("tt0"))
+        done = mr.cluster.run_until(
+            lambda: mr.jobtracker.is_complete(job_id), max_time_ms=300_000
+        )
+        assert done, mr.jobtracker.task_states(job_id)
+        assert runner.fetch_output("/out") == local_wordcount(datasets)
+
+    def test_tracker_crash_after_map_completion_triggers_reexecution(self):
+        # Crash a tracker after maps finish but before reduces fetch: the
+        # fetch_failed path must re-execute the lost map outputs.
+        mr = build_mr_cluster(num_trackers=3, seed=9)
+        runner = JobRunner(mr)
+        datasets = make_input_files(1500, 6, seed=9)
+        paths = runner.stage_inputs("/in", datasets)
+        spec = JobSpec(0, paths, 2, wordcount_map, wordcount_reduce, "/out")
+        jt = mr.jobtracker
+        job_id = jt.submit(spec)
+        # Wait until every map is done, then kill a tracker that holds
+        # map output.
+        def maps_done():
+            states = jt.task_states(job_id)
+            map_states = [s for t, s in states.items() if t < 1_000_000]
+            return bool(map_states) and all(s == "done" for s in map_states)
+
+        assert mr.cluster.run_until(maps_done, max_time_ms=300_000)
+        victim = next(
+            t.address for t in mr.trackers if t.map_outputs
+        )
+        mr.cluster.crash(victim)
+        done = mr.cluster.run_until(
+            lambda: jt.is_complete(job_id), max_time_ms=300_000
+        )
+        assert done, jt.task_states(job_id)
+        assert runner.fetch_output("/out") == local_wordcount(datasets)
+
+
+class TestBaselineStack:
+    def _factory(self, addr, policy, seed):
+        from repro.hadoop import BaselineJobTracker
+
+        return BaselineJobTracker(addr, policy="fifo")
+
+    def test_baseline_jobtracker_produces_same_output(self):
+        expected = local_wordcount(make_input_files(800, 6, seed=7))
+        _, output, _ = run_wordcount(
+            num_trackers=4, num_maps=6, num_reduces=3, words_per_file=800,
+            seed=7, jobtracker_factory=self._factory,
+        )
+        assert output == expected
+
+    def test_baseline_fs_produces_same_output(self):
+        expected = local_wordcount(make_input_files(800, 6, seed=7))
+        _, output, _ = run_wordcount(
+            num_trackers=4, num_maps=6, num_reduces=3, words_per_file=800,
+            seed=7, fs_kind="hadoop",
+        )
+        assert output == expected
+
+    def test_full_baseline_stack(self):
+        expected = local_wordcount(make_input_files(800, 6, seed=7))
+        _, output, _ = run_wordcount(
+            num_trackers=4, num_maps=6, num_reduces=3, words_per_file=800,
+            seed=7, jobtracker_factory=self._factory, fs_kind="hadoop",
+        )
+        assert output == expected
+
+    def test_baseline_hadoop_speculation(self):
+        from repro.hadoop import BaselineJobTracker
+
+        def spec_factory(addr, policy, seed):
+            return BaselineJobTracker(addr, policy="hadoop")
+
+        fifo, _, _ = run_wordcount(
+            num_trackers=6, num_maps=12, num_reduces=4, words_per_file=2000,
+            seed=3, straggler_count=2, straggler_factor=8.0,
+            jobtracker_factory=self._factory,
+        )
+        spec, _, mr = run_wordcount(
+            num_trackers=6, num_maps=12, num_reduces=4, words_per_file=2000,
+            seed=3, straggler_count=2, straggler_factor=8.0,
+            jobtracker_factory=spec_factory,
+        )
+        assert spec.duration_ms <= fifo.duration_ms

@@ -1,0 +1,179 @@
+"""Tests for the metaprogramming layer: trace rewrites and invariants."""
+
+import pytest
+
+from repro.boomfs import BoomFSClient, BoomFSMaster, DataNode, master_program
+from repro.monitoring import (
+    InvariantMonitor,
+    TraceCollector,
+    add_relation_tracing,
+    add_rule_tracing,
+    boomfs_invariants_program,
+    with_invariants,
+)
+from repro.overlog import OverlogRuntime, parse
+from repro.sim import Cluster, LatencyModel
+
+SIMPLE = """
+program demo;
+define(a, keys(0), {Int});
+define(b, keys(0), {Int});
+define(c, keys(0), {Int});
+r1 b(X) :- a(X);
+r2 c(X) :- b(X), X > 1;
+"""
+
+
+class TestRuleTracing:
+    def test_rewrite_adds_one_twin_per_rule(self):
+        prog = parse(SIMPLE)
+        traced = add_rule_tracing(prog)
+        assert len(traced.rules) == 2 * len(prog.rules)
+        names = {r.name for r in traced.rules}
+        assert "trace_r1" in names and "trace_r2" in names
+
+    def test_original_program_untouched(self):
+        prog = parse(SIMPLE)
+        add_rule_tracing(prog)
+        assert len(prog.rules) == 2  # rewrites return new trees
+
+    def test_trace_fires_with_rule(self):
+        rt = OverlogRuntime(add_rule_tracing(parse(SIMPLE)))
+        collector = TraceCollector()
+        collector.attach(rt)
+        rt.insert_many("a", [(1,), (2,), (3,)])
+        rt.tick(now=5)
+        counts = collector.rule_counts()
+        assert counts["r1"] == 3
+        assert counts["r2"] == 2  # X > 1 filter
+        assert all(t == 5 for *_, t in collector.events)
+
+    def test_selective_tracing(self):
+        rt = OverlogRuntime(add_rule_tracing(parse(SIMPLE), rule_names=["r2"]))
+        collector = TraceCollector()
+        collector.attach(rt)
+        rt.insert_many("a", [(1,), (2,)])
+        rt.tick()
+        assert set(collector.rule_counts()) == {"r2"}
+
+    def test_traced_program_equivalent_results(self):
+        plain = OverlogRuntime(parse(SIMPLE))
+        traced = OverlogRuntime(add_rule_tracing(parse(SIMPLE)))
+        for rt in (plain, traced):
+            rt.insert_many("a", [(1,), (2,), (5,)])
+            rt.tick()
+        assert sorted(plain.rows("c")) == sorted(traced.rows("c"))
+
+    def test_boomfs_master_program_traceable(self):
+        # The headline claim: instrument the real NameNode without
+        # touching it.
+        traced = add_rule_tracing(master_program())
+        cluster = Cluster(latency=LatencyModel(1, 1))
+        master = cluster.add(BoomFSMaster("master"))
+        master_traced = BoomFSMaster("master2")
+        # construct a runtime over the traced program directly
+        rt = OverlogRuntime(traced, address="master2")
+        rt.install("file", [(0, -1, "", True)])
+        rt.install("repfactor", [(2,)])
+        rt.install("dn_timeout", [(3000,)])
+        collector = TraceCollector()
+        collector.attach(rt)
+        rt.insert("request", (1, "client", "mkdir", "/x", None))
+        rt.tick(now=1)
+        while rt.has_pending_work:
+            rt.tick(now=1)
+        assert ("/x", 1) in rt.rows("fqpath")
+        assert collector.rule_counts().get("c1") == 1  # mkdir rule traced
+
+
+class TestRelationTracing:
+    def test_relation_tracing(self):
+        rt = OverlogRuntime(add_relation_tracing(parse(SIMPLE), ["b"]))
+        collector = TraceCollector()
+        collector.attach(rt)
+        rt.insert_many("a", [(1,), (2,)])
+        rt.tick()
+        assert collector.relation_counts() == {"b": 2}
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(KeyError):
+            add_relation_tracing(parse(SIMPLE), ["zzz"])
+
+
+class TestInvariants:
+    def test_healthy_fs_has_no_violations(self):
+        program = with_invariants(master_program(), boomfs_invariants_program())
+        rt = OverlogRuntime(program, address="m")
+        rt.install("file", [(0, -1, "", True)])
+        rt.install("repfactor", [(2,)])
+        rt.install("dn_timeout", [(3000,)])
+        monitor = InvariantMonitor()
+        monitor.attach(rt)
+        rt.insert("request", (1, "c", "mkdir", "/a", None))
+        for now in (0, 1, 2, 1001, 2001):
+            rt.tick(now=now)
+            while rt.has_pending_work:
+                rt.tick(now=now)
+        assert monitor.ok, monitor.violations
+
+    def test_corrupted_metadata_detected(self):
+        program = with_invariants(master_program(), boomfs_invariants_program())
+        rt = OverlogRuntime(program, address="m")
+        rt.install("file", [(0, -1, "", True)])
+        rt.install("repfactor", [(2,)])
+        rt.install("dn_timeout", [(3000,)])
+        monitor = InvariantMonitor()
+        monitor.attach(rt)
+        # Inject an fqpath row with no backing file: iv1 must fire.
+        rt.install("fqpath", [("/ghost", 999)])
+        rt.tick(now=1001)
+        assert ("orphan-fqpath", "/ghost") in monitor.violations
+
+    def test_strict_monitor_raises(self):
+        program = with_invariants(master_program(), boomfs_invariants_program())
+        rt = OverlogRuntime(program, address="m")
+        rt.install("file", [(0, -1, "", True)])
+        rt.install("repfactor", [(2,)])
+        rt.install("dn_timeout", [(3000,)])
+        monitor = InvariantMonitor(strict=True)
+        monitor.attach(rt)
+        rt.install("fqpath", [("/ghost", 999)])
+        with pytest.raises(AssertionError, match="orphan-fqpath"):
+            rt.tick(now=1001)
+
+    def test_live_cluster_stays_invariant_clean(self):
+        # Run a real workload with invariants merged into the master.
+        from repro.overlog import Program
+
+        class CheckedMaster(BoomFSMaster):
+            def _make_runtime(self):
+                rt = super()._make_runtime()
+                return rt
+
+        program = with_invariants(master_program(), boomfs_invariants_program())
+        cluster = Cluster(latency=LatencyModel(1, 1))
+        master = cluster.add(
+            type(
+                "M",
+                (BoomFSMaster,),
+                {"__init__": lambda self, address: BoomFSMaster.__init__(
+                    self, address, replication=2
+                )},
+            )("master")
+        )
+        # swap in the instrumented program
+        master._program = program
+        cluster.crash("master")
+        cluster.restart("master")
+        monitor = InvariantMonitor()
+        monitor.attach(master.runtime)
+        for i in range(2):
+            cluster.add(DataNode(f"dn{i}", masters=["master"], heartbeat_ms=300))
+        fs = cluster.add(BoomFSClient("client", masters=["master"]))
+        cluster.run_for(700)
+        fs.makedirs("/a/b")
+        fs.write("/a/b/f", b"bytes")
+        fs.mv("/a/b/f", "/a/g")
+        fs.rm("/a/b")
+        cluster.run_for(3000)
+        assert monitor.ok, monitor.violations

@@ -1,0 +1,112 @@
+"""Further MapReduce workloads: distributed sort, concurrent jobs, and
+the workload generators themselves."""
+
+import pytest
+
+from repro.mapreduce import (
+    JobRunner,
+    JobSpec,
+    build_mr_cluster,
+    local_wordcount,
+    make_input_files,
+    wordcount_map,
+    wordcount_reduce,
+    zipf_corpus,
+)
+from repro.mapreduce.workloads import (
+    local_sort,
+    random_records,
+    sort_map,
+    sort_reduce,
+)
+
+
+class TestGenerators:
+    def test_zipf_corpus_deterministic(self):
+        assert zipf_corpus(500, seed=3) == zipf_corpus(500, seed=3)
+        assert zipf_corpus(500, seed=3) != zipf_corpus(500, seed=4)
+
+    def test_zipf_corpus_is_skewed(self):
+        counts = local_wordcount([zipf_corpus(5000, seed=1)])
+        ordered = sorted(counts.values(), reverse=True)
+        # head word much hotter than the tail
+        assert ordered[0] > 5 * ordered[-1]
+
+    def test_random_records_shape(self):
+        data = random_records(100, seed=2, width=10)
+        lines = data.decode().splitlines()
+        assert len(lines) == 100
+        assert all(len(l) == 10 for l in lines)
+
+    def test_word_budget(self):
+        text = zipf_corpus(321, seed=9).decode()
+        assert sum(len(l.split()) for l in text.splitlines()) == 321
+
+
+class TestDistributedSort:
+    def test_sorted_output_per_partition(self):
+        mr = build_mr_cluster(num_trackers=4, seed=17)
+        runner = JobRunner(mr)
+        datasets = [random_records(150, seed=17 * 10 + i) for i in range(6)]
+        paths = runner.stage_inputs("/in", datasets)
+        spec = JobSpec(0, paths, 3, sort_map, sort_reduce, "/out")
+        runner.run_job(spec)
+        fs = mr.fs_client
+        all_records = []
+        for name in fs.ls("/out"):
+            part_lines = [
+                line.rsplit("\t", 1)[0]
+                for line in fs.read(f"/out/{name}").decode().splitlines()
+                if line
+            ]
+            # each reducer writes its partition in sorted order
+            assert part_lines == sorted(part_lines), name
+            all_records.extend(part_lines)
+        assert sorted(all_records) == local_sort(datasets)
+
+
+class TestConcurrentJobs:
+    def test_two_jobs_in_flight_fifo_priority(self):
+        mr = build_mr_cluster(num_trackers=4, seed=19)
+        runner = JobRunner(mr)
+        sets1 = make_input_files(2500, 6, seed=19)
+        sets2 = make_input_files(2500, 6, seed=20)
+        paths1 = runner.stage_inputs("/in1", sets1)
+        paths2 = runner.stage_inputs("/in2", sets2)
+        mr.fs_client.mkdir("/out1")
+        mr.fs_client.mkdir("/out2")
+        jt = mr.jobtracker
+        j1 = jt.submit(JobSpec(0, paths1, 2, wordcount_map, wordcount_reduce, "/out1"))
+        j2 = jt.submit(JobSpec(0, paths2, 2, wordcount_map, wordcount_reduce, "/out2"))
+        assert j1 != j2
+        done = mr.cluster.run_until(
+            lambda: jt.is_complete(j1) and jt.is_complete(j2),
+            max_time_ms=600_000,
+        )
+        assert done, (jt.task_states(j1), jt.task_states(j2))
+        # FIFO: the lower job id must not finish after the higher one by
+        # much — in fact it should complete first (it gets all slots first).
+        assert jt.completions[j1] <= jt.completions[j2]
+        assert runner.fetch_output("/out1") == local_wordcount(sets1)
+        assert runner.fetch_output("/out2") == local_wordcount(sets2)
+
+    def test_three_small_jobs(self):
+        mr = build_mr_cluster(num_trackers=3, seed=23)
+        runner = JobRunner(mr)
+        jt = mr.jobtracker
+        jobs = []
+        for k in range(3):
+            sets = make_input_files(600, 2, seed=23 + k)
+            paths = runner.stage_inputs(f"/in{k}", sets)
+            mr.fs_client.mkdir(f"/out{k}")
+            job_id = jt.submit(
+                JobSpec(0, paths, 1, wordcount_map, wordcount_reduce, f"/out{k}")
+            )
+            jobs.append((job_id, sets))
+        done = mr.cluster.run_until(
+            lambda: all(jt.is_complete(j) for j, _ in jobs),
+            max_time_ms=600_000,
+        )
+        assert done
+        for k, (job_id, sets) in enumerate(jobs):
+            assert runner.fetch_output(f"/out{k}") == local_wordcount(sets)

@@ -1,0 +1,170 @@
+"""Tests for @next (deferred) rules and the list<> aggregate — the engine
+features that make state-machine programs (BOOM-FS, Paxos) expressible."""
+
+import pytest
+
+from repro.overlog import CatalogError, OverlogRuntime, StratificationError, parse
+
+
+def make(src, **kw):
+    return OverlogRuntime("program t;\n" + src, **kw)
+
+
+class TestDeferredRules:
+    def test_parse_and_print_roundtrip(self):
+        prog = parse(
+            "program t; define(a, keys(0), {Int}); "
+            "r1 a(X)@next :- a(X);"
+        )
+        assert prog.rules[0].deferred
+        assert parse(str(prog)).rules[0].deferred
+
+    def test_deferred_insert_lands_next_step(self):
+        rt = make(
+            """
+            define(state, keys(0), {Str, Int});
+            event(bump, 1);
+            state(K, V + 1)@next :- bump(K), state(K, V);
+            """
+        )
+        rt.install("state", [("x", 0)])
+        rt.insert("bump", ("x",))
+        rt.tick()
+        assert rt.rows("state") == [("x", 0)]  # not yet applied
+        assert rt.has_pending_work
+        rt.tick()
+        assert rt.rows("state") == [("x", 1)]
+
+    def test_deferred_breaks_check_then_insert_cycle(self):
+        # Classic FS pattern: reject if path exists, else insert the file,
+        # which re-derives the path table.  Unstratifiable without @next.
+        src_immediate = """
+        define(file, keys(0), {Int, Str});
+        define(path, keys(0), {Str, Int});
+        event(mk, 2);
+        path(N, F) :- file(F, N);
+        file(F, N) :- mk(F, N), notin path(N, _);
+        """
+        with pytest.raises(StratificationError):
+            make(src_immediate)
+
+        rt = make(
+            """
+            define(file, keys(0), {Int, Str});
+            define(path, keys(0), {Str, Int});
+            event(mk, 2);
+            path(N, F) :- file(F, N);
+            file(F, N)@next :- mk(F, N), notin path(N, _);
+            """
+        )
+        rt.insert("mk", (1, "a"))
+        rt.tick()
+        rt.tick()
+        assert rt.rows("path") == [("a", 1)]
+        # Second create of the same name is rejected by the notin check.
+        rt.insert("mk", (2, "a"))
+        rt.tick()
+        rt.tick()
+        assert rt.rows("file") == [(1, "a")]
+
+    def test_deferred_delete(self):
+        rt = make(
+            """
+            define(lease, keys(0), {Str, Int});
+            event(expire, 1);
+            exp delete lease(K, V)@next :- expire(K), lease(K, V);
+            """
+        )
+        rt.install("lease", [("a", 1), ("b", 2)])
+        rt.insert("expire", ("a",))
+        rt.tick()
+        assert len(rt.rows("lease")) == 2
+        rt.tick()
+        assert rt.rows("lease") == [("b", 2)]
+
+    def test_deferred_event_chains_steps(self):
+        # A deferred event acts like a self-message: counts steps.
+        rt = make(
+            """
+            define(counter, keys(), {Int});
+            event(go, 1);
+            counter(N) :- go(N);
+            go(N + 1)@next :- go(N), N < 3;
+            """
+        )
+        rt.insert("go", (0,))
+        ticks = 0
+        rt.tick()
+        while rt.has_pending_work:
+            rt.tick()
+            ticks += 1
+        # keys() means whole-row key: every step's value accumulates.
+        assert sorted(rt.rows("counter")) == [(0,), (1,), (2,), (3,)]
+        assert ticks == 3
+
+    def test_deferred_with_location_rejected(self):
+        with pytest.raises(CatalogError):
+            make(
+                """
+                event(a, 1);
+                event(b, 1);
+                b(@X)@next :- a(X);
+                """
+            )
+
+    def test_run_to_quiescence_processes_deferred(self):
+        rt = make(
+            """
+            define(counter, keys(), {Int});
+            event(go, 1);
+            counter(N) :- go(N);
+            go(N + 1)@next :- go(N), N < 10;
+            """
+        )
+        rt.insert("go", (0,))
+        rt.run_to_quiescence()
+        assert (10,) in rt.rows("counter")
+        assert len(rt.rows("counter")) == 11
+
+
+class TestListAggregate:
+    def test_list_collects_sorted(self):
+        rt = make(
+            """
+            define(child, keys(0, 1), {Str, Str});
+            define(listing, keys(0), {Str, List});
+            listing(D, list<N>) :- child(D, N);
+            """
+        )
+        rt.insert_many("child", [("/", "b"), ("/", "a"), ("/x", "c")])
+        rt.tick()
+        assert sorted(rt.rows("listing")) == [
+            ("/", ("a", "b")),
+            ("/x", ("c",)),
+        ]
+
+    def test_list_of_pairs_sorts_deterministically(self):
+        rt = make(
+            """
+            define(cand, keys(0, 1), {Int, Str});
+            define(ranked, keys(), {List});
+            ranked(list<P>) :- cand(H, A), P := f_list(H, A);
+            """
+        )
+        rt.insert_many("cand", [(30, "dn1"), (10, "dn3"), (20, "dn2")])
+        rt.tick()
+        assert rt.rows("ranked") == [(((10, "dn3"), (20, "dn2"), (30, "dn1")),)]
+
+    def test_take_and_project(self):
+        rt = make(
+            """
+            define(cand, keys(0, 1), {Int, Str});
+            define(ranked, keys(), {List});
+            define(picked, keys(), {List});
+            ranked(list<P>) :- cand(H, A), P := f_list(H, A);
+            picked(Addrs) :- ranked(L), Addrs := f_take(f_project(L, 1), 2);
+            """
+        )
+        rt.insert_many("cand", [(30, "dn1"), (10, "dn3"), (20, "dn2")])
+        rt.tick()
+        assert rt.rows("picked") == [(("dn3", "dn2"),)]

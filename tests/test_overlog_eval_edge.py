@@ -1,0 +1,232 @@
+"""Edge-case tests for expression evaluation, catalog behaviour and the
+evaluator's incremental machinery."""
+
+import pytest
+
+from repro.overlog import (
+    CatalogError,
+    EvaluationError,
+    OverlogRuntime,
+    TableDecl,
+)
+from repro.overlog.catalog import Table
+
+
+def make(src, **kw):
+    return OverlogRuntime("program t;\n" + src, **kw)
+
+
+class TestExpressionEdges:
+    def test_division_by_zero_wrapped(self):
+        rt = make(
+            """
+            define(n, keys(0), {Int});
+            define(out, keys(0), {Int});
+            out(Y) :- n(X), Y := 10 / X;
+            """
+        )
+        rt.insert("n", (0,))
+        with pytest.raises((EvaluationError, ZeroDivisionError)):
+            rt.tick()
+
+    def test_string_comparison(self):
+        rt = make(
+            """
+            define(s, keys(0), {Str});
+            define(late_names, keys(0), {Str});
+            late_names(X) :- s(X), X > "m";
+            """
+        )
+        rt.insert_many("s", [("alpha",), ("zulu",)])
+        rt.tick()
+        assert rt.rows("late_names") == [("zulu",)]
+
+    def test_boolean_short_circuit(self):
+        # `X != 0 && 10 / X > 1` must not divide when X == 0.
+        rt = make(
+            """
+            define(n, keys(0), {Int});
+            define(ok, keys(0), {Int});
+            ok(X) :- n(X), X != 0 && 10 / X > 1;
+            """
+        )
+        rt.insert_many("n", [(0,), (2,), (100,)])
+        rt.tick()
+        assert sorted(rt.rows("ok")) == [(2,)]
+
+    def test_nil_handling(self):
+        rt = make(
+            """
+            define(v, keys(0), {Int, Any});
+            define(missing, keys(0), {Int});
+            missing(K) :- v(K, X), f_is_nil(X);
+            """
+        )
+        rt.insert_many("v", [(1, None), (2, "x")])
+        rt.tick()
+        assert rt.rows("missing") == [(1,)]
+
+    def test_negative_numbers(self):
+        rt = make(
+            """
+            define(n, keys(0), {Int});
+            define(out, keys(0, 1), {Int, Int});
+            out(X, Y) :- n(X), Y := -X * 2;
+            """
+        )
+        rt.insert("n", (5,))
+        rt.tick()
+        assert rt.rows("out") == [(5, -10)]
+
+    def test_float_int_mixed_division(self):
+        rt = make(
+            """
+            define(n, keys(0), {Int});
+            define(out, keys(0, 1), {Int, Float});
+            out(X, Y) :- n(X), Y := X / 2.0;
+            """
+        )
+        rt.insert("n", (7,))
+        rt.tick()
+        assert rt.rows("out") == [(7, 3.5)]
+
+
+class TestTableDirect:
+    def decl(self, keys=(0,)):
+        return TableDecl("t", tuple(keys), ("Int", "Str"))
+
+    def test_lookup_key(self):
+        table = Table(self.decl())
+        table.insert((1, "a"))
+        assert table.lookup_key((1,)) == (1, "a")
+        assert table.lookup_key((9,)) is None
+
+    def test_rows_matching_index(self):
+        table = Table(self.decl())
+        for i in range(10):
+            table.insert((i, "x" if i % 2 else "y"))
+        assert len(table.rows_matching(1, "x")) == 5
+        assert table.rows_matching(1, "zzz") == []
+
+    def test_index_maintained_across_updates(self):
+        table = Table(self.decl())
+        table.insert((1, "a"))
+        assert table.rows_matching(1, "a") == [(1, "a")]
+        table.insert((1, "b"))  # PK replace
+        assert table.rows_matching(1, "a") == []
+        assert table.rows_matching(1, "b") == [(1, "b")]
+        table.delete((1, "b"))
+        assert table.rows_matching(1, "b") == []
+
+    def test_clear_resets_indexes(self):
+        table = Table(self.decl())
+        table.insert((1, "a"))
+        table.rows_matching(1, "a")
+        table.clear()
+        assert table.rows_matching(1, "a") == []
+        assert len(table) == 0
+
+    def test_bad_key_spec_rejected(self):
+        with pytest.raises(CatalogError):
+            Table(TableDecl("t", (5,), ("Int",)))
+
+
+class TestIncrementalMachinery:
+    def test_derived_view_tracks_growth_across_steps(self):
+        rt = make(
+            """
+            define(edge, keys(0, 1), {Int, Int});
+            define(reach, keys(0, 1), {Int, Int});
+            reach(X, Y) :- edge(X, Y);
+            reach(X, Z) :- edge(X, Y), reach(Y, Z);
+            """
+        )
+        for i in range(10):
+            rt.insert("edge", (i, i + 1))
+            rt.tick()
+        assert len(rt.rows("reach")) == 55
+
+    def test_deletion_triggers_negation_readers_next_step(self):
+        rt = make(
+            """
+            define(base, keys(0), {Int});
+            define(blocked, keys(0), {Int});
+            define(out, keys(0), {Int});
+            event(rm, 1);
+            out(X) :- base(X), notin blocked(X);
+            del delete blocked(X) :- rm(X), blocked(X);
+            """
+        )
+        rt.install("base", [(1,)])
+        rt.install("blocked", [(1,)])
+        rt.tick()
+        assert rt.rows("out") == []
+        rt.insert("rm", (1,))
+        rt.tick()  # deletion applies post-fixpoint
+        rt.tick()  # full re-eval of the negation reader
+        assert rt.rows("out") == [(1,)]
+
+    def test_pk_displacement_triggers_negation_readers(self):
+        rt = make(
+            """
+            define(reg, keys(0), {Int, Str});
+            define(calm, keys(0), {Int});
+            define(probe, keys(0), {Int});
+            calm(X) :- probe(X), notin reg(0, "busy");
+            """
+        )
+        rt.install("reg", [(0, "busy")])
+        rt.install("probe", [(1,)])
+        rt.tick()
+        assert rt.rows("calm") == []
+        # PK update 'busy' -> 'idle' removes the row the negation sees.
+        rt.insert("reg", (0, "idle"))
+        rt.tick()
+        rt.tick()
+        assert rt.rows("calm") == [(1,)]
+
+    def test_no_rederivation_of_deleted_tuples_without_new_delta(self):
+        # Authentic Overlog: a deleted derived tuple stays deleted until a
+        # new delta re-fires the deriving rule.
+        rt = make(
+            """
+            define(src, keys(0), {Int});
+            define(view, keys(0), {Int});
+            event(purge, 1);
+            view(X) :- src(X);
+            del delete view(X) :- purge(X), view(X);
+            """
+        )
+        rt.insert("src", (1,))
+        rt.tick()
+        assert rt.rows("view") == [(1,)]
+        rt.insert("purge", (1,))
+        rt.tick()
+        rt.tick()
+        rt.tick()
+        assert rt.rows("view") == []  # not resurrected
+        rt.insert("src", (1,))  # duplicate: no delta, nothing changes
+        rt.tick()
+        assert rt.rows("view") == []
+
+
+class TestRuntimeHelpers:
+    def test_lookup_by_column(self):
+        rt = make("define(t, keys(0), {Int, Str, Int});")
+        rt.install("t", [(1, "a", 10), (2, "b", 10), (3, "a", 20)])
+        assert sorted(rt.lookup("t", _1="a")) == [(1, "a", 10), (3, "a", 20)]
+        assert rt.lookup("t", _1="a", _2=20) == [(3, "a", 20)]
+
+    def test_extended_merges_programs(self):
+        rt = make("define(a, keys(0), {Int});")
+        extended = rt.extended(
+            "program extra; define(b, keys(0), {Int}); b(X) :- a(X);"
+        )
+        extended.insert("a", (1,))
+        extended.tick()
+        assert extended.rows("b") == [(1,)]
+
+    def test_conflicting_redeclaration_rejected(self):
+        rt = make("define(a, keys(0), {Int});")
+        with pytest.raises(CatalogError):
+            rt.extended("program extra; define(a, keys(0), {Str});")

@@ -1,0 +1,121 @@
+"""Unit tests for the builtin function library."""
+
+import pytest
+
+from repro.overlog import EvaluationError, FunctionLibrary, UnknownFunctionError
+from repro.overlog.functions import stable_hash
+
+
+@pytest.fixture()
+def lib():
+    return FunctionLibrary()
+
+
+class TestPathFunctions:
+    def test_concat_path(self, lib):
+        assert lib.call("f_concat_path", ("/", "a")) == "/a"
+        assert lib.call("f_concat_path", ("/a", "b")) == "/a/b"
+        assert lib.call("f_concat_path", ("/a/", "b")) == "/a/b"
+
+    def test_dirname(self, lib):
+        assert lib.call("f_dirname", ("/a/b",)) == "/a"
+        assert lib.call("f_dirname", ("/a",)) == "/"
+        assert lib.call("f_dirname", ("/",)) == "/"
+
+    def test_basename(self, lib):
+        assert lib.call("f_basename", ("/a/b",)) == "b"
+        assert lib.call("f_basename", ("/",)) == ""
+
+    def test_dirname_basename_invert_concat(self, lib):
+        for base, name in [("/", "x"), ("/a", "y"), ("/a/b/c", "z")]:
+            path = lib.call("f_concat_path", (base, name))
+            assert lib.call("f_dirname", (path,)) == base
+            assert lib.call("f_basename", (path,)) == name
+
+
+class TestStringFunctions:
+    def test_startswith_endswith(self, lib):
+        assert lib.call("f_startswith", ("/a/b", "/a")) is True
+        assert lib.call("f_endswith", ("file.txt", ".txt")) is True
+
+    def test_match(self, lib):
+        assert lib.call("f_match", ("pa.os", "has paxos inside")) is True
+        assert lib.call("f_match", ("^x", "no")) is False
+
+    def test_concat_coerces(self, lib):
+        assert lib.call("f_concat", ("id", 5)) == "id5"
+
+    def test_substr(self, lib):
+        assert lib.call("f_substr", ("hello", 1, 3)) == "el"
+
+
+class TestCollectionFunctions:
+    def test_list_append_member(self, lib):
+        xs = lib.call("f_list", (1, 2))
+        xs = lib.call("f_append", (xs, 3))
+        assert xs == (1, 2, 3)
+        assert lib.call("f_member", (xs, 2)) is True
+        assert lib.call("f_member", (xs, 9)) is False
+
+    def test_nth_and_size(self, lib):
+        xs = (10, 20, 30)
+        assert lib.call("f_nth", (xs, 1)) == 20
+        assert lib.call("f_size", (xs,)) == 3
+
+    def test_take_project_flatten(self, lib):
+        pairs = ((1, "a"), (2, "b"), (3, "c"))
+        assert lib.call("f_take", (pairs, 2)) == ((1, "a"), (2, "b"))
+        assert lib.call("f_project", (pairs, 1)) == ("a", "b", "c")
+        assert lib.call("f_flatten", (((1, 2), (3,)),)) == (1, 2, 3)
+
+    def test_append_to_non_list_fails(self, lib):
+        with pytest.raises(EvaluationError):
+            lib.call("f_append", (5, 1))
+
+    def test_nth_out_of_range_fails(self, lib):
+        with pytest.raises(EvaluationError):
+            lib.call("f_nth", ((1,), 5))
+
+
+class TestArithmetic:
+    def test_min_max_abs_mod(self, lib):
+        assert lib.call("f_min", (3, 7)) == 3
+        assert lib.call("f_max", (3, 7)) == 7
+        assert lib.call("f_abs", (-4,)) == 4
+        assert lib.call("f_mod", (10, 3)) == 1
+
+    def test_floor_ceil_pow(self, lib):
+        assert lib.call("f_floor", (2.7,)) == 2
+        assert lib.call("f_ceil", (2.1,)) == 3
+        assert lib.call("f_pow", (2, 10)) == 1024
+
+    def test_if(self, lib):
+        assert lib.call("f_if", (True, "a", "b")) == "a"
+        assert lib.call("f_if", (0, "a", "b")) == "b"
+
+
+class TestHashing:
+    def test_hash_stable_and_spread(self, lib):
+        assert lib.call("f_hash", ("x",)) == stable_hash("x")
+        values = {lib.call("f_hashmod", (f"k{i}", 100)) for i in range(200)}
+        assert len(values) > 50  # spreads
+        assert all(0 <= v < 100 for v in values)
+
+
+class TestRegistry:
+    def test_unknown_function(self, lib):
+        with pytest.raises(UnknownFunctionError):
+            lib.call("f_nope", ())
+
+    def test_register_requires_prefix(self, lib):
+        with pytest.raises(EvaluationError):
+            lib.register("nope", lambda: 1)
+
+    def test_register_and_call(self, lib):
+        lib.register("f_twice", lambda x: x * 2)
+        assert lib.call("f_twice", (21,)) == 42
+        assert "f_twice" in lib
+
+    def test_errors_are_wrapped(self, lib):
+        with pytest.raises(EvaluationError, match="f_toint"):
+            lib.call("f_toint", ("not a number",))

@@ -1,0 +1,113 @@
+"""Unit tests for the Overlog tokenizer."""
+
+import pytest
+
+from repro.overlog.errors import LexError
+from repro.overlog.lexer import tokenize
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)[:-1]]
+
+
+def values(src):
+    return [t.value for t in tokenize(src)[:-1]]
+
+
+class TestBasicTokens:
+    def test_identifier(self):
+        toks = tokenize("foo")
+        assert toks[0].kind == "IDENT"
+        assert toks[0].value == "foo"
+
+    def test_variable_uppercase(self):
+        assert tokenize("Foo")[0].kind == "VARIABLE"
+
+    def test_underscore_is_variable(self):
+        assert tokenize("_")[0].kind == "VARIABLE"
+
+    def test_keyword(self):
+        toks = tokenize("define notin delete")
+        assert all(t.kind == "KEYWORD" for t in toks[:-1])
+
+    def test_integer(self):
+        tok = tokenize("42")[0]
+        assert tok.kind == "NUMBER"
+        assert tok.value == "42"
+
+    def test_float(self):
+        assert tokenize("3.25")[0].value == "3.25"
+
+    def test_string(self):
+        tok = tokenize('"hello world"')[0]
+        assert tok.kind == "STRING"
+        assert tok.value == "hello world"
+
+    def test_string_escapes(self):
+        assert tokenize(r'"a\nb"')[0].value == "a\nb"
+        assert tokenize(r'"say \"hi\""')[0].value == 'say "hi"'
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "EOF"
+
+
+class TestOperators:
+    def test_rule_arrow(self):
+        assert ":-" in values("a :- b")
+
+    def test_assign_vs_arrow(self):
+        assert values("X := 1") == ["X", ":=", "1"]
+
+    def test_comparisons(self):
+        assert values("< <= > >= == !=") == ["<", "<=", ">", ">=", "==", "!="]
+
+    def test_at_sign(self):
+        assert "@" in values("foo(@X)")
+
+    def test_arithmetic(self):
+        assert values("+ - * / %") == ["+", "-", "*", "/", "%"]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert values("a // comment\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert values("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"never closed')
+
+
+class TestPositions:
+    def test_line_tracking(self):
+        toks = tokenize("a\nb\n  c")
+        assert toks[0].line == 1
+        assert toks[1].line == 2
+        assert toks[2].line == 3
+        assert toks[2].col == 3
+
+    def test_bad_character(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("a\n  $")
+        assert exc.value.line == 2
+
+
+class TestRealisticSnippets:
+    def test_define(self):
+        src = "define(file, keys(0, 1), {Int, Str});"
+        assert kinds(src)[0] == "KEYWORD"
+
+    def test_rule_with_everything(self):
+        src = (
+            'r1 response(@Client, Id, count<X>) :- request(@Me, Id, Client), '
+            'notin dead(Client), X := f_now() + 10, X > 0;'
+        )
+        toks = tokenize(src)
+        assert toks[-1].kind == "EOF"
+        assert "notin" in [t.value for t in toks]

@@ -1,0 +1,227 @@
+"""Unit tests for the Overlog parser."""
+
+import pytest
+
+from repro.overlog import (
+    AggSpec,
+    Assign,
+    Atom,
+    BinOp,
+    Cond,
+    Const,
+    FuncCall,
+    NotIn,
+    ParseError,
+    UnOp,
+    Var,
+    parse,
+    parse_with_watches,
+)
+
+
+def parse_one_rule(rule_src, decls=""):
+    prog = parse(f"program t;\n{decls}\n{rule_src}")
+    assert len(prog.rules) == 1
+    return prog.rules[0]
+
+
+class TestDeclarations:
+    def test_table_decl(self):
+        prog = parse("program t; define(file, keys(0, 1), {Int, Str, Bool});")
+        (decl,) = prog.tables()
+        assert decl.name == "file"
+        assert decl.keys == (0, 1)
+        assert decl.types == ("Int", "Str", "Bool")
+        assert decl.arity == 3
+
+    def test_table_decl_no_keys(self):
+        prog = parse("program t; define(log, keys(), {Str});")
+        assert prog.tables()[0].keys == ()
+
+    def test_event_decl(self):
+        prog = parse("program t; event(request, 4);")
+        (decl,) = prog.events()
+        assert decl.name == "request"
+        assert decl.arity == 4
+
+    def test_timer_decl(self):
+        prog = parse("program t; timer(hb, 3000);")
+        (decl,) = prog.timers()
+        assert decl.period_ms == 3000
+
+    def test_watch(self):
+        prog, watches = parse_with_watches(
+            "program t; define(x, keys(0), {Int}); watch(x);"
+        )
+        assert watches == ["x"]
+
+    def test_program_name(self):
+        assert parse("program boomfs;").name == "boomfs"
+
+
+class TestRules:
+    def test_named_rule(self):
+        rule = parse_one_rule("r1 a(X) :- b(X);")
+        assert rule.name == "r1"
+        assert rule.head.name == "a"
+
+    def test_unnamed_rule_gets_generated_name(self):
+        rule = parse_one_rule("a(X) :- b(X);")
+        assert rule.name == "t_r1"
+
+    def test_delete_rule(self):
+        rule = parse_one_rule("gc delete a(X) :- b(X);")
+        assert rule.delete
+        assert rule.name == "gc"
+
+    def test_unnamed_delete_rule(self):
+        rule = parse_one_rule("delete a(X) :- b(X);")
+        assert rule.delete
+
+    def test_location_specifier_in_head(self):
+        rule = parse_one_rule("a(@X, Y) :- b(X, Y);")
+        assert rule.head.loc == 0
+
+    def test_location_specifier_mid_args(self):
+        rule = parse_one_rule("a(Y, @X) :- b(X, Y);")
+        assert rule.head.loc == 1
+
+    def test_two_location_specifiers_rejected(self):
+        with pytest.raises(ParseError):
+            parse("program t; a(@X, @Y) :- b(X, Y);")
+
+    def test_negation(self):
+        rule = parse_one_rule("a(X) :- b(X), notin c(X, _);")
+        neg = [e for e in rule.body if isinstance(e, NotIn)]
+        assert len(neg) == 1
+        assert neg[0].atom.name == "c"
+
+    def test_assignment(self):
+        rule = parse_one_rule('a(X, P) :- b(X), P := f_concat_path("/", X);')
+        assigns = [e for e in rule.body if isinstance(e, Assign)]
+        assert assigns[0].var == Var("P")
+        assert isinstance(assigns[0].expr, FuncCall)
+
+    def test_condition(self):
+        rule = parse_one_rule("a(X) :- b(X), X > 10;")
+        conds = [e for e in rule.body if isinstance(e, Cond)]
+        assert len(conds) == 1
+
+    def test_function_call_condition_not_atom(self):
+        rule = parse_one_rule('a(X) :- b(X), f_match("x.*", X);')
+        conds = [e for e in rule.body if isinstance(e, Cond)]
+        assert len(conds) == 1
+        assert isinstance(conds[0].expr, FuncCall)
+
+    def test_aggregate_head(self):
+        rule = parse_one_rule("cnt(A, count<C>) :- hb(A, C);")
+        assert rule.is_aggregate
+        spec = rule.head.args[1]
+        assert isinstance(spec, AggSpec)
+        assert spec.func == "count"
+        assert spec.var == Var("C")
+
+    def test_count_star(self):
+        rule = parse_one_rule("cnt(A, count<*>) :- hb(A, C);")
+        spec = rule.head.args[1]
+        assert spec.var.is_wildcard
+
+    def test_all_aggregate_functions(self):
+        for func in ("count", "sum", "min", "max", "avg"):
+            rule = parse_one_rule(f"agg(K, {func}<V>) :- src(K, V);")
+            assert rule.head.args[1].func == func
+
+    def test_aggregate_not_allowed_in_body(self):
+        # In a body, `count < X` should parse as a comparison... but `count`
+        # is a bare lowercase identifier, which is invalid in an expression.
+        with pytest.raises(ParseError):
+            parse("program t; a(X) :- b(X), count < 3;")
+
+    def test_zero_arity_atom(self):
+        rule = parse_one_rule("tick() :- ping();")
+        assert rule.head.arity == 0
+
+
+class TestExpressions:
+    def expr_of(self, src):
+        rule = parse_one_rule(f"a(X) :- b(X), Y := {src};")
+        return [e for e in rule.body if isinstance(e, Assign)][0].expr
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr_of("1 + 2 * 3")
+        assert isinstance(e, BinOp) and e.op == "+"
+        assert isinstance(e.right, BinOp) and e.right.op == "*"
+
+    def test_parenthesized(self):
+        e = self.expr_of("(1 + 2) * 3")
+        assert e.op == "*"
+        assert e.left.op == "+"
+
+    def test_comparison_binds_looser_than_arith(self):
+        e = self.expr_of("X + 1 > 2 * 3")
+        assert e.op == ">"
+
+    def test_boolean_ops(self):
+        e = self.expr_of("X > 1 && X < 5 || X == 0")
+        assert e.op == "||"
+        assert e.left.op == "&&"
+
+    def test_unary_minus(self):
+        e = self.expr_of("-X")
+        assert isinstance(e, UnOp) and e.op == "-"
+
+    def test_not(self):
+        e = self.expr_of("!X")
+        assert isinstance(e, UnOp) and e.op == "!"
+
+    def test_literals(self):
+        assert self.expr_of("42") == Const(42)
+        assert self.expr_of("2.5") == Const(2.5)
+        assert self.expr_of('"hi"') == Const("hi")
+        assert self.expr_of("true") == Const(True)
+        assert self.expr_of("false") == Const(False)
+        assert self.expr_of("nil") == Const(None)
+
+    def test_nested_function_calls(self):
+        e = self.expr_of("f_max(f_size(X), 3)")
+        assert isinstance(e, FuncCall)
+        assert isinstance(e.args[0], FuncCall)
+
+    def test_zero_arg_function(self):
+        e = self.expr_of("f_now()")
+        assert e == FuncCall("f_now", ())
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("program t; a(X) :- b(X)")
+
+    def test_missing_program_header(self):
+        with pytest.raises(ParseError):
+            parse("a(X) :- b(X);")
+
+    def test_garbage(self):
+        from repro.overlog import OverlogError
+
+        with pytest.raises(OverlogError):
+            parse("program t; ???")
+
+
+class TestRoundTrip:
+    def test_program_str_reparses(self):
+        src = """
+        program demo;
+        define(file, keys(0), {Int, Str});
+        event(req, 2);
+        timer(hb, 1000);
+        r1 file(I, N) :- req(I, N), notin file(I, _);
+        r2 resp(@C, I, count<N>) :- req(I, C), file(I, N), I > 0;
+        gc delete file(I, N) :- req(I, N);
+        """
+        prog = parse(src)
+        reparsed = parse(str(prog))
+        assert reparsed.decls == prog.decls
+        assert [r.head for r in reparsed.rules] == [r.head for r in prog.rules]
+        assert [r.body for r in reparsed.rules] == [r.body for r in prog.rules]
+        assert [r.delete for r in reparsed.rules] == [r.delete for r in prog.rules]

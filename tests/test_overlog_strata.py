@@ -1,0 +1,138 @@
+"""Unit tests for stratification analysis."""
+
+import pytest
+
+from repro.overlog import StratificationError, parse
+from repro.overlog.strata import compute_strata, rules_by_stratum
+
+
+def strata_of(src):
+    program = parse("program t;\n" + src)
+    return compute_strata(program.rules), program
+
+
+class TestStrataAssignment:
+    def test_flat_program_single_stratum(self):
+        strata, _ = strata_of("b(X) :- a(X); c(X) :- b(X);")
+        assert strata["a"] == strata["b"] == strata["c"] == 0
+
+    def test_negation_raises_stratum(self):
+        strata, _ = strata_of("c(X) :- a(X), notin b(X);")
+        assert strata["c"] > strata["b"]
+
+    def test_aggregation_raises_stratum(self):
+        strata, _ = strata_of("c(count<X>) :- a(X);")
+        assert strata["c"] > strata["a"]
+
+    def test_chained_negation_multiple_strata(self):
+        strata, _ = strata_of(
+            """
+            b(X) :- a(X), notin z(X);
+            c(X) :- a(X), notin b(X);
+            d(X) :- a(X), notin c(X);
+            """
+        )
+        assert strata["b"] < strata["c"] < strata["d"]
+
+    def test_positive_recursion_same_stratum(self):
+        strata, _ = strata_of(
+            "p(X, Y) :- e(X, Y); p(X, Z) :- e(X, Y), p(Y, Z);"
+        )
+        assert strata["p"] == strata["e"] == 0
+
+    def test_negation_over_recursive_relation_ok(self):
+        strata, _ = strata_of(
+            """
+            p(X, Y) :- e(X, Y);
+            p(X, Z) :- e(X, Y), p(Y, Z);
+            q(X) :- e(X, _), notin p(X, X);
+            """
+        )
+        assert strata["q"] > strata["p"]
+
+    def test_empty_program(self):
+        assert compute_strata(()) == {}
+
+
+class TestUnstratifiable:
+    def test_direct_self_negation(self):
+        with pytest.raises(StratificationError):
+            strata_of("p(X) :- a(X), notin p(X);")
+
+    def test_mutual_negation(self):
+        with pytest.raises(StratificationError):
+            strata_of("p(X) :- a(X), notin q(X); q(X) :- a(X), notin p(X);")
+
+    def test_aggregate_in_recursion(self):
+        with pytest.raises(StratificationError):
+            strata_of("p(count<X>) :- p(X);")
+
+    def test_long_cycle_through_negation(self):
+        with pytest.raises(StratificationError):
+            strata_of(
+                """
+                b(X) :- a(X);
+                c(X) :- b(X), notin d(X);
+                d(X) :- c(X);
+                """
+            )
+
+
+class TestDeferredRules:
+    def test_deferred_rule_breaks_cycle(self):
+        strata, _ = strata_of(
+            """
+            path(N, F) :- file(F, N);
+            file(F, N)@next :- mk(F, N), notin path(N, _);
+            """
+        )
+        # No error; the @next rule contributes no edge.
+        assert "path" in strata
+
+    def test_deferred_rule_runs_after_its_body_strata(self):
+        _, program = strata_of(
+            """
+            agg(count<X>) :- src(X);
+            out(N)@next :- agg(N);
+            """
+        )
+        strata = compute_strata(program.rules)
+        buckets = rules_by_stratum(program.rules, strata)
+        # the deferred rule must sit in agg's (higher) stratum bucket
+        deferred_bucket = next(
+            i for i, b in enumerate(buckets) for r in b if r.deferred
+        )
+        agg_bucket = next(
+            i for i, b in enumerate(buckets) for r in b if r.is_aggregate
+        )
+        assert deferred_bucket >= agg_bucket
+
+
+class TestRealPrograms:
+    def test_boomfs_master_stratifies(self):
+        from repro.boomfs import master_program
+
+        strata = compute_strata(master_program().rules)
+        # responses sit above the base tables they negate over
+        assert strata["response"] > strata["fqpath"]
+
+    def test_paxos_stratifies(self):
+        from repro.paxos import paxos_program
+
+        strata = compute_strata(paxos_program().rules)
+        assert strata["become_leader"] > strata["prom_cnt"] - 1
+
+    def test_merged_replicated_master_stratifies(self):
+        from repro.paxos import replicated_master_program
+
+        program = replicated_master_program()
+        strata = compute_strata(program.rules)
+        # decided log feeds fs_op feeds request feeds the FS rules
+        assert strata["request"] >= strata["fs_op"]
+
+    def test_scheduler_programs_stratify(self):
+        from repro.mapreduce import scheduler_program
+
+        for policy in ("fifo", "hadoop", "late"):
+            strata = compute_strata(scheduler_program(policy).rules)
+            assert strata["do_assign"] >= strata["tt_hb"]

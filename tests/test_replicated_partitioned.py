@@ -1,0 +1,132 @@
+"""Composing the paper's two revisions: a namespace that is BOTH
+hash-partitioned (scalability) AND Paxos-replicated per partition
+(availability).  2 partitions x 3 replicas = 6 NameNodes, one rule set."""
+
+import pytest
+
+from repro.boomfs import DataNode, FSError
+from repro.boomfs.partition import (
+    PARTITION_DROPPED_RULES,
+    PartitionedFSClient,
+    partition_of,
+)
+from repro.paxos import ReplicatedMaster
+from repro.sim import Cluster, LatencyModel
+
+PARTITIONS = 2
+REPLICAS = 3
+
+
+def make_stack(seed=0):
+    cluster = Cluster(seed=seed, latency=LatencyModel(1, 2))
+    groups = []
+    masters = []
+    for p in range(PARTITIONS):
+        group = [f"p{p}m{r}" for r in range(REPLICAS)]
+        groups.append(group)
+        for addr in group:
+            masters.append(
+                cluster.add(
+                    ReplicatedMaster(
+                        addr,
+                        group,
+                        replication=2,
+                        id_scope=f"part{p}",
+                        drop_rules=PARTITION_DROPPED_RULES,
+                    )
+                )
+            )
+    all_masters = [a for g in groups for a in g]
+    for i in range(3):
+        cluster.add(DataNode(f"dn{i}", masters=all_masters, heartbeat_ms=300))
+    fs = cluster.add(
+        PartitionedFSClient(
+            "client",
+            groups,
+            op_timeout_ms=60_000,
+            rpc_timeout_ms=800,
+            encode_request=lambda master, row: ("client_op", (master, row)),
+        )
+    )
+    # Wait for a leader in every partition.
+    for p in range(PARTITIONS):
+        group_masters = [m for m in masters if m.address.startswith(f"p{p}")]
+        ok = cluster.run_until(
+            lambda gm=group_masters: any(m.is_leader for m in gm),
+            max_time_ms=30_000,
+        )
+        assert ok, f"no leader in partition {p}"
+    cluster.run_for(500)
+    return cluster, groups, masters, fs
+
+
+@pytest.fixture(scope="module")
+def stack():
+    # Expensive to build: share one across the module's read-mostly tests.
+    return make_stack()
+
+
+class TestComposedStack:
+    def test_basic_namespace_ops(self, stack):
+        _, _, _, fs = stack
+        fs.mkdir("/combo")
+        for i in range(6):
+            fs.write(f"/combo/f{i}", bytes([i]) * 40)
+        assert fs.ls("/combo") == [f"f{i}" for i in range(6)]
+        for i in range(6):
+            assert fs.read(f"/combo/f{i}") == bytes([i]) * 40
+
+    def test_directories_on_every_replica_of_every_partition(self, stack):
+        _, _, masters, fs = stack
+        fs.mkdir("/everywhere")
+        cluster = stack[0]
+        cluster.run_for(2000)  # let followers apply
+        for m in masters:
+            assert "/everywhere" in m.paths(), m.address
+
+    def test_files_partitioned_with_replica_agreement(self, stack):
+        cluster, groups, masters, fs = stack
+        fs.mkdir("/d")
+        fs.write("/d/target", b"content")
+        cluster.run_for(2000)
+        owner = partition_of("/d/target", PARTITIONS)
+        for m in masters:
+            has = "/d/target" in m.paths()
+            belongs = m.address.startswith(f"p{owner}")
+            assert has == belongs, m.address
+
+    def test_chunk_ids_distinct_across_partitions(self, stack):
+        cluster, groups, masters, fs = stack
+        fs.mkdir("/ids")
+        for i in range(6):
+            fs.write(f"/ids/f{i}", b"z" * 10)
+        cluster.run_for(1000)
+        seen = set()
+        for p in range(PARTITIONS):
+            leader = next(
+                m
+                for m in masters
+                if m.address.startswith(f"p{p}") and not m.crashed and m.is_leader
+            )
+            for cid, _, _ in leader.runtime.rows("fchunk"):
+                assert cid not in seen, "cross-partition chunk id collision"
+                seen.add(cid)
+
+
+class TestComposedFailover:
+    def test_survives_one_leader_per_partition(self):
+        cluster, groups, masters, fs = make_stack(seed=7)
+        fs.mkdir("/ha")
+        fs.write("/ha/before", b"pre-crash")
+        # Kill the current leader of each partition.
+        for p in range(PARTITIONS):
+            leader = next(
+                m
+                for m in masters
+                if m.address.startswith(f"p{p}") and not m.crashed and m.is_leader
+            )
+            cluster.crash(leader.address)
+        fs.write("/ha/after", b"post-crash")
+        assert fs.read("/ha/before") == b"pre-crash"
+        assert fs.read("/ha/after") == b"post-crash"
+        assert sorted(fs.ls("/ha")) == ["after", "before"]

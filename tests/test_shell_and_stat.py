@@ -1,0 +1,122 @@
+"""Tests for the stat operation and the FS shell."""
+
+import pytest
+
+from repro.boomfs import (
+    BoomFSClient,
+    BoomFSMaster,
+    DataNode,
+    FSError,
+    FSShell,
+    ShellError,
+)
+from repro.hadoop import BaselineNameNode
+from repro.sim import Cluster, LatencyModel
+
+
+def make(master_cls=BoomFSMaster):
+    cluster = Cluster(latency=LatencyModel(1, 1))
+    cluster.add(master_cls("master", replication=2))
+    for i in range(2):
+        cluster.add(DataNode(f"dn{i}", masters=["master"], heartbeat_ms=300))
+    fs = cluster.add(BoomFSClient("client", masters=["master"]))
+    cluster.run_for(700)
+    return cluster, fs
+
+
+class TestStat:
+    @pytest.mark.parametrize("master_cls", [BoomFSMaster, BaselineNameNode])
+    def test_stat_file_size(self, master_cls):
+        cluster, fs = make(master_cls)
+        fs.session.chunk_size = 100
+        fs.write("/f", b"x" * 250)  # 3 chunks: 100+100+50
+        cluster.run_for(200)
+        assert fs.stat("/f") == (False, 250)
+
+    @pytest.mark.parametrize("master_cls", [BoomFSMaster, BaselineNameNode])
+    def test_stat_dir_and_empty_file(self, master_cls):
+        cluster, fs = make(master_cls)
+        fs.mkdir("/d")
+        fs.write("/d/empty", b"")
+        assert fs.stat("/d") == (True, 0)
+        assert fs.stat("/d/empty") == (False, 0)
+
+    def test_stat_missing(self):
+        _, fs = make()
+        with pytest.raises(FSError, match="noent"):
+            fs.stat("/ghost")
+
+    def test_stat_right_after_write_resolves(self):
+        # "pending" (chunk reports in flight) is retried internally.
+        cluster, fs = make()
+        fs.write("/f", b"y" * 64)
+        assert fs.stat("/f") == (False, 64)
+
+
+class TestShell:
+    def test_script(self):
+        _, fs = make()
+        shell = FSShell(fs)
+        out = shell.run_script(
+            """
+            # build a small tree
+            mkdirs /a/b
+            put /a/b/hello greetings
+            ls /a
+            cat /a/b/hello
+            stat /a/b/hello
+            exists /a
+            exists /a/b/hello
+            exists /nope
+            mv /a/b/hello /a/hi
+            rm /a/b
+            tree /
+            """
+        )
+        assert out[0] == "created /a/b"
+        assert out[1].startswith("wrote 9 bytes")
+        assert out[2] == "b"
+        assert out[3] == "greetings"
+        assert out[4] == "/a/b/hello: file, 9 bytes"
+        assert out[5] == "dir"
+        assert out[6] == "file"
+        assert out[7] == "absent"
+        assert "hi" in out[10]  # tree shows the moved file
+
+    def test_tree_rendering(self):
+        _, fs = make()
+        shell = FSShell(fs)
+        shell.run_script(
+            """
+            mkdirs /x/y
+            put /x/y/f1 one
+            put /x/f2 two
+            """
+        )
+        tree = shell.execute("tree /")
+        assert tree.splitlines()[0] == "/"
+        assert any("f1" in line for line in tree.splitlines())
+        assert any("`-" in line or "|-" in line for line in tree.splitlines())
+
+    def test_errors(self):
+        _, fs = make()
+        shell = FSShell(fs)
+        with pytest.raises(ShellError, match="unknown command"):
+            shell.execute("frobnicate /")
+        with pytest.raises(ShellError, match="usage"):
+            shell.execute("mv /only-one-arg")
+        with pytest.raises(ShellError, match="noent"):
+            shell.execute("cat /missing")
+
+    def test_help_lists_commands(self):
+        _, fs = make()
+        shell = FSShell(fs)
+        help_text = shell.execute("help")
+        for cmd in ("ls", "put", "cat", "tree"):
+            assert cmd in help_text
+
+    def test_empty_and_comment_lines_ignored(self):
+        _, fs = make()
+        shell = FSShell(fs)
+        assert shell.run_script("\n# nothing\n\n") == []
+        assert shell.execute("") == ""

@@ -1,0 +1,261 @@
+"""Unit tests for the discrete-event simulator, network and cluster."""
+
+import pytest
+
+from repro.overlog import OverlogRuntime
+from repro.sim import (
+    Cluster,
+    FailureSchedule,
+    LatencyModel,
+    Network,
+    OverlogProcess,
+    Process,
+    Simulator,
+)
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(30, lambda: order.append("c"))
+        sim.schedule(10, lambda: order.append("a"))
+        sim.schedule(20, lambda: order.append("b"))
+        sim.run_until(100)
+        assert order == ["a", "b", "c"]
+        assert sim.now == 100
+
+    def test_same_time_fifo(self):
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            sim.schedule(10, lambda i=i: order.append(i))
+        sim.run_until(10)
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_cancel(self):
+        sim = Simulator()
+        hits = []
+        handle = sim.schedule(10, lambda: hits.append(1))
+        handle.cancel()
+        sim.run_until(20)
+        assert hits == []
+
+    def test_schedule_into_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5, lambda: sim.schedule_at(0, lambda: None))
+        with pytest.raises(ValueError):
+            sim.run_until(10)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(10, lambda: sim.schedule(5, lambda: hits.append(sim.now)))
+        sim.run_until(100)
+        assert hits == [15]
+
+    def test_run_until_condition(self):
+        sim = Simulator()
+        hits = []
+        for i in range(10):
+            sim.schedule(i * 10, lambda i=i: hits.append(i))
+        reached = sim.run_until_condition(lambda: len(hits) >= 3, max_time_ms=1000)
+        assert reached
+        assert len(hits) == 3
+
+    def test_run_until_condition_timeout(self):
+        sim = Simulator()
+        reached = sim.run_until_condition(lambda: False, max_time_ms=50)
+        assert not reached
+
+
+class TestNetwork:
+    def make(self, **kw):
+        sim = Simulator()
+        net = Network(sim, **kw)
+        inbox = []
+        net.register("b", lambda rel, row: inbox.append((sim.now, rel, row)))
+        return sim, net, inbox
+
+    def test_delivery_with_latency(self):
+        sim, net, inbox = self.make(latency=LatencyModel(base_ms=5, jitter_ms=0))
+        net.send("a", "b", "ping", (1,))
+        sim.run_until(10)
+        assert inbox == [(5, "ping", (1,))]
+
+    def test_per_link_fifo_under_jitter(self):
+        sim, net, inbox = self.make(latency=LatencyModel(base_ms=1, jitter_ms=50))
+        for i in range(20):
+            net.send("a", "b", "seq", (i,))
+        sim.run_until(1000)
+        assert [row[0] for _, _, row in inbox] == list(range(20))
+
+    def test_loss(self):
+        sim, net, inbox = self.make(loss_rate=1.0)
+        net.send("a", "b", "ping", (1,))
+        sim.run_until(100)
+        assert inbox == []
+        assert net.stats.dropped_loss == 1
+
+    def test_partition_blocks_and_heal_restores(self):
+        sim, net, inbox = self.make(latency=LatencyModel(1, 0))
+        net.partition(["a"], ["b"])
+        net.send("a", "b", "ping", (1,))
+        sim.run_until(10)
+        assert inbox == []
+        net.heal()
+        net.send("a", "b", "ping", (2,))
+        sim.run_until(20)
+        assert [row for _, _, row in inbox] == [(2,)]
+
+    def test_in_flight_message_lost_when_dest_unregisters(self):
+        sim, net, inbox = self.make(latency=LatencyModel(base_ms=10, jitter_ms=0))
+        net.send("a", "b", "ping", (1,))
+        sim.schedule(5, lambda: net.unregister("b"))
+        sim.run_until(20)
+        assert inbox == []
+        assert net.stats.dropped_dead == 1
+
+
+ECHO_PROGRAM = """
+program echo;
+event(ping, 2);
+event(pong, 2);
+pong(@From, N) :- ping(From, N);
+"""
+
+COUNTER_PROGRAM = """
+program counter;
+event(pong, 2);
+define(received, keys(0), {Int});
+received(N) :- pong(_, N);
+"""
+
+
+class _CounterProcess(OverlogProcess):
+    def __init__(self, address):
+        super().__init__(address, COUNTER_PROGRAM)
+
+
+class TestOverlogProcess:
+    def test_request_response_between_nodes(self):
+        cluster = Cluster(latency=LatencyModel(2, 0))
+        server = OverlogProcess("server", ECHO_PROGRAM)
+        client = _CounterProcess("client")
+        cluster.add(server)
+        cluster.add(client)
+        client_runtime = client.runtime
+        server.inject("ping", ("client", 42))
+        # ping is local to the server; pong travels one hop.
+        cluster.run_for(20)
+        assert client_runtime.rows("received") == [(42,)]
+
+    def test_timer_driven_program(self):
+        cluster = Cluster()
+        node = OverlogProcess(
+            "n1",
+            """
+            program beats;
+            timer(t, 100);
+            define(fired, keys(0), {Int, Int});
+            fired(N, T) :- t(N, T);
+            """,
+        )
+        cluster.add(node)
+        cluster.run_for(550)
+        assert len(node.runtime.rows("fired")) == 5
+
+    def test_crash_stops_processing(self):
+        cluster = Cluster(latency=LatencyModel(1, 0))
+        server = OverlogProcess("server", ECHO_PROGRAM)
+        client = _CounterProcess("client")
+        cluster.add(server)
+        cluster.add(client)
+        cluster.crash("server")
+        server.inject("ping", ("client", 1))
+        cluster.run_for(50)
+        assert client.runtime.rows("received") == []
+
+    def test_restart_loses_soft_state(self):
+        cluster = Cluster()
+        node = OverlogProcess(
+            "n1",
+            """
+            program kv;
+            define(store, keys(0), {Str, Int});
+            event(put, 2);
+            store(K, V) :- put(K, V);
+            """,
+        )
+        cluster.add(node)
+        node.inject("put", ("a", 1))
+        cluster.run_for(10)
+        assert node.runtime.rows("store") == [("a", 1)]
+        cluster.crash("n1")
+        cluster.restart("n1")
+        cluster.run_for(10)
+        assert node.runtime.rows("store") == []
+
+    def test_messages_to_crashed_node_dropped(self):
+        cluster = Cluster(latency=LatencyModel(5, 0))
+        server = OverlogProcess("server", ECHO_PROGRAM)
+        client = _CounterProcess("client")
+        cluster.add(server)
+        cluster.add(client)
+        server.inject("ping", ("client", 7))
+        cluster.crash_at(2, "client")  # pong lands at t>=5
+        cluster.run_for(50)
+        assert cluster.network.stats.dropped_dead >= 1
+
+
+class TestFailureSchedule:
+    def test_crash_and_restart_applied(self):
+        cluster = Cluster()
+        node = OverlogProcess("n1", "program p; define(x, keys(0), {Int});")
+        cluster.add(node)
+        FailureSchedule().crash(10, "n1", restart_after_ms=20).apply(cluster)
+        cluster.run_for(15)
+        assert not cluster.is_up("n1")
+        cluster.run_for(20)
+        assert cluster.is_up("n1")
+
+    def test_partition_schedule(self):
+        cluster = Cluster()
+        for name in ("a", "b"):
+            cluster.add(OverlogProcess(name, "program p; define(x, keys(0), {Int});"))
+        FailureSchedule().partition(
+            10, ("a",), ("b",), heal_after_ms=30
+        ).apply(cluster)
+        cluster.run_for(15)
+        assert not cluster.network.can_reach("a", "b")
+        cluster.run_for(30)
+        assert cluster.network.can_reach("a", "b")
+
+
+class TestDeterminism:
+    def _run(self, seed):
+        cluster = Cluster(seed=seed, latency=LatencyModel(1, 10))
+        server = OverlogProcess("server", ECHO_PROGRAM)
+        client = _CounterProcess("client")
+        cluster.add(server)
+        cluster.add(client)
+        for i in range(20):
+            cluster.sim.schedule_at(
+                i * 3, lambda i=i: server.inject("ping", ("client", i))
+            )
+        cluster.run_for(500)
+        return (
+            sorted(client.runtime.rows("received")),
+            cluster.network.stats.delivered,
+            cluster.sim.events_processed,
+        )
+
+    def test_identical_runs(self):
+        assert self._run(42) == self._run(42)
+
+    def test_seed_changes_timing(self):
+        # Same delivered set, but jitter differs => event counts may differ;
+        # at minimum the runs must both complete.
+        a = self._run(1)
+        b = self._run(2)
+        assert a[0] == b[0] == [(i,) for i in range(20)]
