@@ -15,7 +15,7 @@ finding this ablation documents.
 
 import time
 
-from harness import write_report
+from harness import write_json_report, write_report
 
 from repro.analysis import render_table
 from repro.overlog import OverlogRuntime
@@ -83,6 +83,7 @@ def test_a1_incremental_eval(benchmark):
     results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
     report = build_report(results)
     write_report("a1_incremental_eval", report)
+    write_json_report("a1_incremental_eval", results)
     naive = results["naive fixpoint"]
     default = results["semi-naive + gating (default)"]
     assert naive["wall_ms"] > default["wall_ms"]

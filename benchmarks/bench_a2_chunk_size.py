@@ -6,7 +6,7 @@ read a fixed 1 MiB file at several chunk sizes over a bandwidth-modelled
 network and report simulated completion times and master message load.
 """
 
-from harness import write_report
+from harness import write_json_report, write_report
 
 from repro.analysis import render_table
 from repro.boomfs import BoomFSClient, BoomFSMaster, DataNode
@@ -74,5 +74,6 @@ def test_a2_chunk_size(benchmark):
     results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
     report = build_report(results)
     write_report("a2_chunk_size", report)
+    write_json_report("a2_chunk_size", results)
     smallest = results[CHUNK_SIZES[0]]
     assert smallest["messages"] > results[CHUNK_SIZES[-1]]["messages"]

@@ -7,7 +7,7 @@ time after a leader kill plus the number of elections during a calm
 steady-state period (spurious elections indicate instability).
 """
 
-from harness import write_report
+from harness import write_json_report, write_report
 
 from repro.analysis import render_table
 from repro.boomfs import DataNode
@@ -84,4 +84,5 @@ def test_a3_election_timeout(benchmark):
     results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
     report = build_report(results)
     write_report("a3_election_timeout", report)
+    write_json_report("a3_election_timeout", results)
     assert results[400]["recovery_ms"] < results[3200]["recovery_ms"]

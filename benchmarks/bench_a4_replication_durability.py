@@ -6,7 +6,7 @@ random DataNodes (with staggered restarts) and measure how many files
 remain readable, for replication factors 1–3.
 """
 
-from harness import write_report
+from harness import write_json_report, write_report
 
 from repro.analysis import render_table
 from repro.boomfs import BoomFSClient, BoomFSMaster, DataNode, FSError, FSTimeout
@@ -86,6 +86,7 @@ def test_a4_replication_durability(benchmark):
     results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
     report = build_report(results)
     write_report("a4_replication_durability", report)
+    write_json_report("a4_replication_durability", results)
     assert results[1] < FILES  # unreplicated loses data
     assert results[3] >= results[1]
     assert results[3] == FILES  # r=3 survives this schedule

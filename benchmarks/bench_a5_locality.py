@@ -7,7 +7,7 @@ locality hints enabled and disabled and report cross-machine traffic and
 job time.
 """
 
-from harness import write_report
+from harness import write_json_report, write_report
 
 from repro.analysis import render_table
 from repro.mapreduce import (
@@ -73,6 +73,7 @@ def test_a5_locality(benchmark):
     results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
     report = build_report(results)
     write_report("a5_locality", report)
+    write_json_report("a5_locality", results)
     on, off = results["locality on"], results["locality off"]
     assert on["local_maps"] > off["local_maps"] or on["remote_mb"] < off["remote_mb"]
     assert on["remote_mb"] < off["remote_mb"]

@@ -9,7 +9,7 @@ of the *same* protocols on the same substrate.
 
 from pathlib import Path
 
-from harness import write_report
+from harness import write_json_report, write_report
 
 from repro.analysis import count_olg, count_package, render_table
 
@@ -80,4 +80,5 @@ def build_table() -> str:
 def test_e1_code_size(benchmark):
     report = benchmark.pedantic(build_table, rounds=1, iterations=1)
     write_report("e1_code_size", report)
+    write_json_report("e1_code_size", {"report": report})
     assert "BOOM-FS NameNode" in report

@@ -5,9 +5,7 @@ NameNode data structures.  We regenerate it from the actual program
 text, with the Hadoop-class correspondence the paper gives.
 """
 
-from pathlib import Path
-
-from harness import write_report
+from harness import write_json_report, write_report
 
 from repro.analysis import render_table
 from repro.boomfs import master_program
@@ -56,4 +54,5 @@ def build_table() -> str:
 def test_e2_fs_catalog(benchmark):
     report = benchmark.pedantic(build_table, rounds=1, iterations=1)
     write_report("e2_fs_catalog", report)
+    write_json_report("e2_fs_catalog", {"report": report})
     assert "fqpath" in report

@@ -6,7 +6,7 @@ overlap: the declarative rewrite does not change job behaviour.  We run
 the same 2x2 matrix on the simulator and report the same series.
 """
 
-from harness import write_report
+from harness import write_json_report, write_report
 
 from repro.analysis import render_table, summarize
 from repro.hadoop import BaselineJobTracker
@@ -78,5 +78,16 @@ def test_e3_stack_cdfs(benchmark):
     results = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
     report = build_report(results)
     write_report("e3_stack_cdfs", report)
+    write_json_report(
+        "e3_stack_cdfs",
+        {
+            name: {
+                "duration_ms": result.duration_ms,
+                "map_completion_ms": result.map_completion_times(),
+                "reduce_completion_ms": result.reduce_completion_times(),
+            }
+            for name, result in results
+        },
+    )
     durations = [r.duration_ms for _, r in results]
     assert max(durations) / min(durations) < 1.5

@@ -13,7 +13,7 @@ we report two complementary measures:
 
 import time
 
-from harness import write_report
+from harness import write_json_report, write_report
 
 from repro.analysis import render_table
 from repro.boomfs import BoomFSMaster
@@ -75,25 +75,38 @@ class MetadataLoadGen(Process):
         return self.finished_ms is not None
 
 
-def run_one(master_cls):
-    cluster = Cluster(latency=LatencyModel(1, 1))
-    cluster.add(master_cls("master", replication=2))
-    gen = cluster.add(MetadataLoadGen("loadgen", "master"))
-    wall_start = time.perf_counter()
-    ok = cluster.run_until(lambda: gen.done, max_time_ms=600_000)
-    wall = time.perf_counter() - wall_start
-    assert ok, "load generator did not finish"
+def run_one(master_cls, repeats=3):
+    # Wall time is best-of-N: the minimum is the least-noise estimate of
+    # the actual CPU cost on a shared host (sim results are deterministic
+    # and identical across repeats).
+    best_wall = None
+    for _ in range(repeats):
+        cluster = Cluster(latency=LatencyModel(1, 1))
+        cluster.add(master_cls("master", replication=2))
+        gen = cluster.add(MetadataLoadGen("loadgen", "master"))
+        wall_start = time.perf_counter()
+        ok = cluster.run_until(lambda: gen.done, max_time_ms=600_000)
+        wall = time.perf_counter() - wall_start
+        assert ok, "load generator did not finish"
+        best_wall = wall if best_wall is None else min(best_wall, wall)
     sim_ms = gen.finished_ms - gen.started_ms
     return {
         "sim_ms": sim_ms,
         "sim_ops_per_s": TOTAL_OPS / (sim_ms / 1000),
-        "wall_us_per_op": wall * 1e6 / TOTAL_OPS,
+        "wall_us_per_op": best_wall * 1e6 / TOTAL_OPS,
     }
+
+
+class MetricsOffMaster(BoomFSMaster):
+    """Ablation: the always-on runtime metrics registry disabled."""
+
+    METRICS = False
 
 
 def run_experiment():
     return {
         "BOOM-FS (Overlog)": run_one(BoomFSMaster),
+        "BOOM-FS (metrics off)": run_one(MetricsOffMaster),
         "Baseline (imperative)": run_one(BaselineNameNode),
     }
 
@@ -115,12 +128,15 @@ def build_report(results) -> str:
         title="E4 -- metadata throughput (300 mixed ops, window=8)",
     )
     boom = results["BOOM-FS (Overlog)"]
+    bare = results["BOOM-FS (metrics off)"]
     base = results["Baseline (imperative)"]
     ratio = boom["wall_us_per_op"] / base["wall_us_per_op"]
+    metrics_pct = (boom["wall_us_per_op"] / bare["wall_us_per_op"] - 1) * 100
     return table + (
         f"\nSimulated throughput is protocol-bound and near-identical; the\n"
         f"declarative master costs {ratio:.1f}x more host CPU per op — the\n"
-        f"interpretation overhead the paper also observed (JOL vs Java)."
+        f"interpretation overhead the paper also observed (JOL vs Java).\n"
+        f"Always-on runtime metrics add {metrics_pct:+.1f}% host CPU per op."
     )
 
 
@@ -128,5 +144,10 @@ def test_e4_metadata_throughput(benchmark):
     results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
     report = build_report(results)
     write_report("e4_metadata_throughput", report)
+    write_json_report("e4_metadata_throughput", results)
     sim_rates = [r["sim_ops_per_s"] for r in results.values()]
     assert max(sim_rates) / min(sim_rates) < 1.5  # protocol parity
+    # The always-on metrics registry must stay cheap: < 10% per-op cost.
+    boom = results["BOOM-FS (Overlog)"]
+    bare = results["BOOM-FS (metrics off)"]
+    assert boom["wall_us_per_op"] < bare["wall_us_per_op"] * 1.10

@@ -8,7 +8,7 @@ latency before/during/after, the measured recovery gap, and what survives
 — for an unreplicated master versus 3 and 5 replicas.
 """
 
-from harness import write_report
+from harness import write_json_report, write_report
 
 from repro.analysis import render_table
 from repro.boomfs import BoomFSClient, BoomFSMaster, DataNode, FSError, FSTimeout
@@ -130,6 +130,7 @@ def test_e5_failover(benchmark):
     results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
     report = build_report(results)
     write_report("e5_failover", report)
+    write_json_report("e5_failover", results)
     unrep, rep3, rep5 = results
     expected_total = OPS_BEFORE + OPS_AFTER + 1
     assert unrep["paths_after"] < expected_total  # data loss

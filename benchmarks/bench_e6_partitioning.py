@@ -7,7 +7,7 @@ bottleneck) and drive the partitions with a windowed asynchronous client;
 throughput is reported for 1, 2, 4 and 8 partitions.
 """
 
-from harness import write_report
+from harness import write_json_report, write_report
 
 from repro.analysis import render_table
 from repro.boomfs.client import FSSession
@@ -129,5 +129,6 @@ def test_e6_partitioning(benchmark):
     results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
     report = build_report(results)
     write_report("e6_partitioning", report)
+    write_json_report("e6_partitioning", results)
     assert results[2][1] > results[1][1] * 1.3  # 2 partitions help
     assert results[4][1] > results[1][1] * 1.8  # 4 partitions help more

@@ -8,7 +8,7 @@ We run wordcount on a cluster with 25% straggler nodes for all three
 policies and report durations, backup counts, and reduce-completion CDFs.
 """
 
-from harness import write_report
+from harness import write_json_report, write_report
 
 from repro.analysis import render_table
 from repro.mapreduce import run_wordcount
@@ -85,6 +85,7 @@ def test_e7_late_scheduler(benchmark):
     results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
     report = build_report(results)
     write_report("e7_late_scheduler", report)
+    write_json_report("e7_late_scheduler", results)
     assert results["late"]["duration"] < results["fifo"]["duration"] * 0.8
     assert results["late"]["backups"] >= 1
     assert results["fifo"]["backups"] == 0

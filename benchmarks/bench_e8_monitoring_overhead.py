@@ -4,11 +4,17 @@ The paper's monitoring rewrite doubles every rule (a tracing twin shares
 the original body).  We run the identical NameNode metadata workload on
 the plain, rule-traced, and invariant-checked programs and report the
 extra derivations and host CPU time each rewrite costs.
+
+This repo also has a *runtime-level* alternative: the always-on metrics
+registry (``repro.metrics``) counts rule firings and relation sizes
+inside the evaluator instead of doubling the program.  The experiment
+runs both monitoring modes against a metrics-off baseline, so the table
+compares metaprogrammed tracing against runtime instrumentation.
 """
 
 import time
 
-from harness import write_report
+from harness import write_json_report, write_report
 
 from repro.analysis import render_table
 from repro.boomfs import master_program
@@ -41,8 +47,8 @@ def _workload(rt: OverlogRuntime) -> None:
             rt.tick(now=now)
 
 
-def run_one(program, with_collector=False):
-    rt = OverlogRuntime(program, address="m")
+def run_one(program, with_collector=False, metrics=False):
+    rt = OverlogRuntime(program, address="m", metrics=metrics)
     rt.install("file", [(0, -1, "", True)])
     rt.install("repfactor", [(2,)])
     rt.install("dn_timeout", [(3000,)])
@@ -53,18 +59,28 @@ def run_one(program, with_collector=False):
     start = time.perf_counter()
     _workload(rt)
     wall = time.perf_counter() - start
+    metric_points = 0
+    if rt.metrics is not None:
+        snap = rt.metrics.registry.snapshot()
+        metric_points = sum(
+            len(v) for v in snap.values() if isinstance(v, dict)
+        )
     return {
         "wall_ms": wall * 1000,
         "derivations": rt.total_derivations,
         "rules": len(rt.program.rules),
         "trace_events": len(collector.events) if collector else 0,
+        "metric_points": metric_points,
     }
 
 
 def run_experiment():
     base = master_program()
+    # Both monitoring modes measured against the same metrics-off plain
+    # run: the rewrite pays in derivations, the registry in bookkeeping.
     return {
         "plain": run_one(base),
+        "runtime metrics": run_one(base, metrics=True),
         "rule-traced": run_one(add_rule_tracing(base), with_collector=True),
         "with invariants": run_one(
             with_invariants(base, boomfs_invariants_program())
@@ -84,6 +100,7 @@ def build_report(results) -> str:
                 round(r["wall_ms"], 1),
                 f"{(r['wall_ms'] / plain['wall_ms'] - 1) * 100:+.0f}%",
                 r["trace_events"],
+                r["metric_points"],
             ]
         )
     table = render_table(
@@ -94,16 +111,18 @@ def build_report(results) -> str:
             "host ms",
             "overhead",
             "trace events",
+            "metric points",
         ],
         rows,
         title=(
-            f"E8 -- monitoring rewrite overhead ({OPS} NameNode metadata ops)"
+            f"E8 -- monitoring overhead, rewrite vs runtime metrics "
+            f"({OPS} NameNode metadata ops)"
         ),
     )
     return table + (
         "\nTracing twins re-evaluate every rule body, so the derivation\n"
-        "count reflects the full tracing cost; the paper likewise reported\n"
-        "modest, measurable overhead for metaprogrammed monitoring."
+        "count reflects the full tracing cost; the runtime metrics registry\n"
+        "observes the same firings without adding rules or derivations."
     )
 
 
@@ -111,7 +130,14 @@ def test_e8_monitoring_overhead(benchmark):
     results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
     report = build_report(results)
     write_report("e8_monitoring_overhead", report)
+    write_json_report("e8_monitoring_overhead", results)
     assert results["rule-traced"]["trace_events"] > 0
     assert (
         results["rule-traced"]["derivations"] > results["plain"]["derivations"]
+    )
+    # The registry counts firings without rewriting the program.
+    assert results["runtime metrics"]["metric_points"] > 0
+    assert (
+        results["runtime metrics"]["derivations"]
+        == results["plain"]["derivations"]
     )

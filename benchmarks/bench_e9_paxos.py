@@ -6,7 +6,7 @@ groups, with and without message loss.  (The paper reports Paxos adds
 modest latency to NameNode operations; this isolates that cost.)
 """
 
-from harness import write_report
+from harness import write_json_report, write_report
 
 from repro.analysis import render_table, summarize
 from repro.paxos import PaxosReplica
@@ -106,6 +106,10 @@ def test_e9_paxos(benchmark):
     results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
     report = build_report(results)
     write_report("e9_paxos", report)
+    write_json_report(
+        "e9_paxos",
+        {f"{size} / {loss}": r for (size, loss), r in results.items()},
+    )
     clean3 = results[("3 replicas", "0% loss")]
     lossy3 = results[("3 replicas", "5% loss")]
     assert clean3["all_applied"] and lossy3["all_applied"]

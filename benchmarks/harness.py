@@ -10,6 +10,7 @@ Reports are the artifacts EXPERIMENTS.md cites.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 REPORTS_DIR = Path(__file__).resolve().parent / "reports"
@@ -20,4 +21,30 @@ def write_report(name: str, text: str) -> Path:
     path = REPORTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n{text}\n[report written to {path}]")
+    return path
+
+
+def _jsonable(value):
+    """Coerce experiment payloads to plain JSON types (tuples/sets become
+    lists, unknown objects their repr)."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(v) for v in value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def write_json_report(name: str, payload) -> Path:
+    """Write the machine-readable twin of a text report:
+    ``benchmarks/reports/<name>.json``."""
+    REPORTS_DIR.mkdir(exist_ok=True)
+    path = REPORTS_DIR / f"{name}.json"
+    path.write_text(
+        json.dumps(_jsonable(payload), indent=2, sort_keys=True) + "\n"
+    )
+    print(f"[json report written to {path}]")
     return path

@@ -14,7 +14,7 @@ Two layers:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from ..sim.network import Address
@@ -244,7 +244,9 @@ class FSSession:
             if waiter is None:
                 return
             remaining = waiter[0]
-            for addr in remaining:
+            # Sorted iteration: set order is hash-order, which would leak
+            # PYTHONHASHSEED into the send sequence (and the trace log).
+            for addr in sorted(remaining):
                 self.host.send(
                     addr, "store_chunk", (cid, data, self.host.address, rid)
                 )
@@ -375,17 +377,37 @@ class BoomFSClient(Process):
             encode_request=encode_request,
         )
         self.op_timeout_ms = op_timeout_ms
+        self._pending_trace: Any = None
 
     def handle_message(self, relation: str, row: tuple) -> None:
         if self.session.handles(relation):
             self.session.on_message(relation, row)
+
+    # -- tracing -------------------------------------------------------------
+
+    def start_trace(self, name: str):
+        """Begin a causal trace; the *next* operation runs under it.
+
+        Returns the root :class:`~repro.metrics.trace.SpanRef`, usable with
+        ``cluster.tracer.span_tree`` / ``render_tree`` afterwards.
+        """
+        assert self.cluster is not None, "client must be added to a cluster"
+        ref = self.cluster.tracer.start_trace(name, node=str(self.address))
+        self._pending_trace = ref
+        return ref
 
     # -- sync driver -------------------------------------------------------------
 
     def _call(self, op: str, path: str, start: Callable[[Callback], None]) -> Any:
         assert self.cluster is not None, "client must be added to a cluster"
         box: list[tuple[bool, Any, bool]] = []
-        start(lambda ok, payload, retried: box.append((ok, payload, retried)))
+        done = lambda ok, payload, retried: box.append((ok, payload, retried))
+        ref, self._pending_trace = self._pending_trace, None
+        if ref is not None:
+            with self.cluster.tracer.activate((ref,)):
+                start(done)
+        else:
+            start(done)
         self.cluster.run_until(
             lambda: bool(box), max_time_ms=self.cluster.now + self.op_timeout_ms
         )

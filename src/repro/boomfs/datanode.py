@@ -14,7 +14,7 @@ only the metadata plane is declarative.  A DataNode:
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable
 
 from ..sim.network import Address
 from ..sim.node import Process
@@ -48,6 +48,7 @@ class DataNode(Process):
     def _heartbeat(self) -> None:
         if self.crashed:
             return
+        self.metrics.counter("dn.heartbeats").inc()
         self._beat_count += 1
         full = self._beat_count % self.full_report_every == 1
         for master in self.masters:
@@ -64,11 +65,14 @@ class DataNode(Process):
     def handle_message(self, relation: str, row: tuple) -> None:
         if relation == "store_chunk":
             cid, data, reply_to, rid = row
+            self.metrics.counter("dn.chunks_stored").inc()
+            self.metrics.counter("dn.bytes_stored").inc(len(data))
             self._store(cid, data)
             if reply_to is not None:
                 self.send(reply_to, "chunk_ack", (rid, cid, self.address))
         elif relation == "fetch_chunk":
             rid, cid, reply_to = row
+            self.metrics.counter("dn.chunks_served").inc()
             self.send(
                 reply_to, "chunk_data", (rid, cid, self.chunks.get(cid))
             )
@@ -85,12 +89,15 @@ class DataNode(Process):
 
     def _store(self, cid: str, data: bytes) -> None:
         self.chunks[cid] = data
+        self.metrics.gauge("dn.stored_bytes").set(self.stored_bytes)
         for master in self.masters:
             self.send(master, "chunk_report", (self.address, cid, len(data)))
 
     def _drop(self, cid: str) -> None:
         if cid in self.chunks:
             del self.chunks[cid]
+            self.metrics.counter("dn.chunks_gced").inc()
+            self.metrics.gauge("dn.stored_bytes").set(self.stored_bytes)
             for master in self.masters:
                 self.send(master, "chunk_gone", (self.address, cid))
 

@@ -94,6 +94,32 @@ class BoomFSMaster(OverlogProcess):
         self.runtime.install("file", [(ROOT_FILE_ID, -1, "", True)])
         self.runtime.install("repfactor", [(self.replication,)])
         self.runtime.install("dn_timeout", [(self.dn_timeout_ms,)])
+        if self.runtime.metrics is None:
+            return  # metrics disabled (ablation benchmarks)
+        # NameNode-level metrics ride on the runtime's registry: request
+        # mix by op (locally inserted events are watchable; outbound
+        # responses and repair orders are counted off the step's sends in
+        # handle_step_result, since remote-destined tuples never
+        # materialize locally).
+        requests = self.metrics
+        self.runtime.watch(
+            "request",
+            lambda row: requests.counter(f"fs.requests.{row[2]}").inc(),
+        )
+
+    def handle_step_result(self, result) -> None:
+        if self.runtime.metrics is None:
+            return
+        counter = self.metrics.counter
+        for _dest, relation, row in result.sends:
+            if relation == "response":
+                counter(
+                    "fs.responses.ok" if row[2] else "fs.responses.error"
+                ).inc()
+            elif relation == "replicate_cmd":
+                counter("fs.replications_ordered").inc()
+            elif relation == "gc_chunk":
+                counter("fs.gc_ordered").inc()
 
     # -- inspection helpers (tests, benchmarks, invariants) ------------------
 

@@ -12,9 +12,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Optional
 
-from ..mapreduce.types import JobSpec, is_reduce_task
+from ..mapreduce.types import JobSpec
 from ..sim.network import Address
 from ..sim.node import Process
 

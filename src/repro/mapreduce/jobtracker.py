@@ -14,7 +14,6 @@ from importlib import resources
 from typing import Optional
 
 from ..overlog import Program, parse
-from ..overlog.eval import StepResult
 from ..sim.node import OverlogProcess
 from .types import JobSpec
 
@@ -97,14 +96,18 @@ class JobTracker(OverlogProcess):
 
     def _on_job_complete(self, row: tuple) -> None:
         job_id, finish_ms = row
+        if job_id not in self.completions:
+            self.metrics.counter("mr.jobs_completed").inc()
         self.completions.setdefault(job_id, finish_ms)
 
     def _on_assign(self, row: tuple) -> None:
         _, job_id, task_id, _ = row
+        self.metrics.counter("mr.task_assignments").inc()
         self.task_launches.setdefault((job_id, task_id), self.now)
 
     def _on_task_done(self, row: tuple) -> None:
         _, job_id, task_id, _ = row
+        self.metrics.counter("mr.tasks_completed").inc()
         self.task_completions.setdefault((job_id, task_id), self.now)
 
     # -- job submission ---------------------------------------------------------
@@ -125,6 +128,7 @@ class JobTracker(OverlogProcess):
         spec.job_id = job_id
         self.specs[job_id] = spec
         self.submissions[job_id] = self.now
+        self.metrics.counter("mr.jobs_submitted").inc()
         rt = self.runtime
         rt.insert("job", (job_id, spec.num_maps, spec.num_reduces, self.now))
         for task_id, tracker_addrs in (locality or {}).items():

@@ -24,7 +24,7 @@ from ..overlog.functions import stable_hash
 from ..sim.network import Address
 from ..sim.node import Process
 from ..sim.simulator import EventHandle
-from .types import JobSpec, is_reduce_task, partition_for, reduce_index
+from .types import JobSpec, partition_for, reduce_index
 
 
 @dataclass

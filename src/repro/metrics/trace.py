@@ -1,0 +1,291 @@
+"""Causal cross-node tracing over the simulated cluster.
+
+The Overlog rewrite in :mod:`repro.monitoring` observes *rules*; this
+module observes *requests*.  A trace is started where a request enters the
+system (a client), carried on every message the request causes, and
+reassembled into a span tree afterwards — the declarative-systems analogue
+of distributed tracing (Dapper-style), but exact, deterministic and free
+of clock skew because the whole cluster shares one virtual clock.
+
+Propagation model
+-----------------
+
+The simulator is single-threaded, so causality is dynamic scope:
+
+* ``tracer.current`` holds the active span references while a handler (or
+  an Overlog timestep's effect phase) runs;
+* :class:`~repro.sim.network.Network` captures ``current`` at send time
+  and restores it (as freshly minted *child* spans) around delivery;
+* :class:`~repro.overlog.runtime.OverlogRuntime` tags inbox tuples with
+  the context they arrived under; a timestep executes under the union of
+  its inbox tuples' contexts, so tuples derived by rules — including
+  ``@next`` deferrals and remote sends — inherit the traces that caused
+  them.
+
+Timer firings and scheduler callbacks carry no context, which is the
+honest answer: a heartbeat is not caused by any one request.  When a step
+mixes traced and untraced inputs, its outputs are attributed to every
+trace present — an over-approximation (join-based provenance would be
+exact), noted in docs/OBSERVABILITY.md.
+
+Everything — trace ids, span ids, message ids, timestamps — comes from
+counters and the virtual clock, so two runs with the same seed export
+byte-identical JSONL.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+Context = tuple["SpanRef", ...]
+
+
+@dataclass(frozen=True)
+class SpanRef:
+    """A (trace, span) coordinate used for propagation."""
+
+    trace_id: str
+    span_id: int
+
+
+@dataclass
+class Span:
+    """A reconstructed span: one causal visit to one node."""
+
+    trace_id: str
+    span_id: int
+    parent_id: Optional[int]
+    node: str
+    name: str
+    start_ms: int
+    events: list[dict] = field(default_factory=list)
+    children: list["Span"] = field(default_factory=list)
+
+    def walk(self) -> Iterable["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class Tracer:
+    """Mints trace/span ids, records events, reconstructs span trees."""
+
+    def __init__(self, clock: Optional[Callable[[], int]] = None):
+        self._clock = clock if clock is not None else (lambda: 0)
+        self.events: list[dict] = []
+        self.current: Context = ()
+        self._trace_n = 0
+        self._msg_n = 0
+        self._span_n: dict[str, int] = {}
+        self._msg_ctx: dict[int, Context] = {}
+
+    @property
+    def now(self) -> int:
+        return self._clock()
+
+    # -- context management ---------------------------------------------------
+
+    @contextmanager
+    def activate(self, ctx: Iterable[SpanRef]):
+        """Run a block under the given span context (dynamic scope)."""
+        previous = self.current
+        self.current = tuple(ctx)
+        try:
+            yield
+        finally:
+            self.current = previous
+
+    def start_trace(self, name: str, node: str = "client") -> SpanRef:
+        """Open a new trace; returns its root span reference."""
+        self._trace_n += 1
+        trace_id = f"t{self._trace_n}"
+        self._span_n[trace_id] = 0
+        self.events.append(
+            {
+                "kind": "begin",
+                "trace": trace_id,
+                "span": 0,
+                "parent": None,
+                "node": node,
+                "name": name,
+                "ms": self.now,
+            }
+        )
+        return SpanRef(trace_id, 0)
+
+    @contextmanager
+    def trace(self, name: str, node: str = "client"):
+        """``with tracer.trace("mkdir /x") as ref: <synchronous sends>``.
+
+        Only the sends issued *directly* inside the block are stamped;
+        anything the simulator later delivers propagates on its own.
+        """
+        ref = self.start_trace(name, node=node)
+        with self.activate((ref,)):
+            yield ref
+
+    # -- hooks called by the network / runtimes -------------------------------
+
+    def on_send(self, src: str, dst: str, relation: str) -> Optional[int]:
+        """Record a message send under the active context.  Returns a
+        message id to correlate the delivery, or None when untraced."""
+        if not self.current:
+            return None
+        self._msg_n += 1
+        mid = self._msg_n
+        self._msg_ctx[mid] = self.current
+        now = self.now
+        for ref in self.current:
+            self.events.append(
+                {
+                    "kind": "send",
+                    "trace": ref.trace_id,
+                    "span": ref.span_id,
+                    "msg": mid,
+                    "src": src,
+                    "dst": dst,
+                    "relation": relation,
+                    "ms": now,
+                }
+            )
+        return mid
+
+    def on_drop(self, mid: Optional[int], reason: str) -> None:
+        """Record that a traced message was lost (loss/partition/dead)."""
+        if mid is None:
+            return
+        now = self.now
+        for ref in self._msg_ctx.pop(mid, ()):
+            self.events.append(
+                {
+                    "kind": "drop",
+                    "trace": ref.trace_id,
+                    "span": ref.span_id,
+                    "msg": mid,
+                    "reason": reason,
+                    "ms": now,
+                }
+            )
+
+    def on_deliver(self, mid: Optional[int], node: str, relation: str) -> Context:
+        """Open child spans for a delivered message; returns the context
+        the destination's handler must run under."""
+        if mid is None:
+            return ()
+        parents = self._msg_ctx.pop(mid, ())
+        now = self.now
+        ctx: list[SpanRef] = []
+        for parent in parents:
+            self._span_n[parent.trace_id] += 1
+            span_id = self._span_n[parent.trace_id]
+            self.events.append(
+                {
+                    "kind": "recv",
+                    "trace": parent.trace_id,
+                    "span": span_id,
+                    "parent": parent.span_id,
+                    "msg": mid,
+                    "node": node,
+                    "relation": relation,
+                    "ms": now,
+                }
+            )
+            ctx.append(SpanRef(parent.trace_id, span_id))
+        return tuple(ctx)
+
+    def annotate(self, ctx: Iterable[SpanRef], kind: str, **fields: Any) -> None:
+        """Attach an in-span event (e.g. a fixpoint summary) to each span."""
+        now = self.now
+        for ref in ctx:
+            event = {
+                "kind": kind,
+                "trace": ref.trace_id,
+                "span": ref.span_id,
+                "ms": now,
+            }
+            event.update(fields)
+            self.events.append(event)
+
+    # -- reconstruction -------------------------------------------------------
+
+    def trace_ids(self) -> list[str]:
+        return [e["trace"] for e in self.events if e["kind"] == "begin"]
+
+    def span_tree(self, trace_id: str) -> Optional[Span]:
+        """Rebuild the span tree of one trace from the flat event log."""
+        spans: dict[int, Span] = {}
+        root: Optional[Span] = None
+        for event in self.events:
+            if event["trace"] != trace_id:
+                continue
+            kind = event["kind"]
+            if kind == "begin":
+                root = spans[0] = Span(
+                    trace_id, 0, None, event["node"], event["name"], event["ms"]
+                )
+            elif kind == "recv":
+                span = Span(
+                    trace_id,
+                    event["span"],
+                    event["parent"],
+                    event["node"],
+                    event["relation"],
+                    event["ms"],
+                )
+                spans[event["span"]] = span
+                parent = spans.get(event["parent"])
+                if parent is not None:
+                    parent.children.append(span)
+            else:
+                span = spans.get(event["span"])
+                if span is not None:
+                    span.events.append(event)
+        return root
+
+    def nodes_crossed(self, trace_id: str) -> set[str]:
+        root = self.span_tree(trace_id)
+        if root is None:
+            return set()
+        return {span.node for span in root.walk()}
+
+    def render_tree(self, trace_id: str) -> str:
+        """ASCII rendering of a trace's span tree."""
+        root = self.span_tree(trace_id)
+        if root is None:
+            return f"(no such trace {trace_id})"
+        lines: list[str] = []
+
+        def emit(span: Span, depth: int) -> None:
+            label = span.name if depth == 0 else span.name
+            notes = "".join(
+                f" [{e['kind']}:{e.get('relation', e.get('derivations', ''))}]"
+                for e in span.events
+                if e["kind"] in ("step", "drop")
+            )
+            lines.append(
+                f"{'  ' * depth}+- {span.start_ms:>6} ms  {span.node:<12} "
+                f"{label}{notes}"
+            )
+            for child in span.children:
+                emit(child, depth + 1)
+
+        emit(root, 0)
+        return "\n".join(lines)
+
+    # -- export ---------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One JSON object per event, key-sorted: deterministic runs yield
+        byte-identical exports."""
+        return "".join(
+            json.dumps(event, sort_keys=True, separators=(",", ":")) + "\n"
+            for event in self.events
+        )
+
+    def export_jsonl(self, path) -> None:
+        from .export import write_text
+
+        write_text(path, self.to_jsonl())

@@ -10,7 +10,6 @@ semantic level as the system itself.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
 
 from ..overlog import Program, parse
 

@@ -68,12 +68,30 @@ def add_rule_tracing(
     The twin shares the rule's entire body, so it fires exactly when the
     rule fires (same bindings), deriving
     ``trace_event("rule", <rule name>, f_now())``.
+
+    Raises ``KeyError`` if ``rule_names`` mentions a rule the program does
+    not define, and ``ValueError`` on double instrumentation (a
+    ``trace_<name>`` twin already present).
     """
+    known = {rule.name for rule in program.rules}
     selected = set(rule_names) if rule_names is not None else None
+    if selected is not None:
+        unknown = selected - known
+        if unknown:
+            raise KeyError(
+                f"cannot trace unknown rule(s): {sorted(unknown)}"
+            )
     new_rules: list[Rule] = list(program.rules)
     for rule in program.rules:
+        if rule.name.startswith(("trace_", "tracerel_")):
+            continue  # never instrument the instrumentation itself
         if selected is not None and rule.name not in selected:
             continue
+        if f"trace_{rule.name}" in known:
+            raise ValueError(
+                f"rule {rule.name!r} is already traced "
+                f"(twin trace_{rule.name} exists); rewrite is not idempotent"
+            )
         now_var = _fresh_var(rule_vars(rule))
         trace_head = Atom(
             name=TRACE_RELATION,
@@ -100,18 +118,34 @@ def add_rule_tracing(
 
 def add_relation_tracing(program: Program, relations: Iterable[str]) -> Program:
     """Add a watcher rule per relation: every derived tuple also logs a
-    ``trace_event("tuple", <relation>, now)``."""
+    ``trace_event("tuple", <relation>, now)``.
+
+    Raises ``KeyError`` for an undeclared relation and ``ValueError`` on
+    double instrumentation (a ``tracerel_<rel>`` rule already present).
+    """
     arities: dict[str, int] = {}
     for decl in program.decls:
         arity = getattr(decl, "arity", None)
         if arity is not None:
             arities[decl.name] = arity
+    existing = {rule.name for rule in program.rules}
     new_rules = list(program.rules)
     for rel in relations:
         if rel not in arities:
             raise KeyError(f"relation {rel!r} not declared in program")
-        now_var = Var("TraceNow")
-        cols = tuple(Var(f"TraceCol{i}") for i in range(arities[rel]))
+        if f"tracerel_{rel}" in existing:
+            raise ValueError(
+                f"relation {rel!r} is already traced "
+                f"(tracerel_{rel} exists); rewrite is not idempotent"
+            )
+        taken: set[str] = set()
+        cols = []
+        for i in range(arities[rel]):
+            var = _fresh_var(taken, f"TraceCol{i}")
+            taken.add(var.name)
+            cols.append(var)
+        cols = tuple(cols)
+        now_var = _fresh_var(taken)
         body_atom = Atom(name=rel, args=cols)
         new_rules.append(
             Rule(

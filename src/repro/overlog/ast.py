@@ -17,7 +17,7 @@ mutating existing ones.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional, Union
 
 AGGREGATE_FUNCS = ("count", "sum", "min", "max", "avg", "list")

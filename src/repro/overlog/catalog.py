@@ -11,8 +11,8 @@ single timestep and are managed by the evaluator, not stored here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional
+from dataclasses import dataclass
+from typing import Iterator, Optional
 
 from .ast import EventDecl, Program, TableDecl, TimerDecl
 from .errors import CatalogError

@@ -58,6 +58,9 @@ class StepResult:
     deferred_deletes: list[tuple[str, Row]] = field(default_factory=list)
     fired: dict[str, list[Row]] = field(default_factory=dict)
     derivation_count: int = 0
+    # (stratum index, semi-naive passes run) for each stratum that had
+    # work this step — the fixpoint-depth profile the metrics layer reads.
+    stratum_iterations: list[tuple[int, int]] = field(default_factory=list)
 
     def fired_rows(self, relation: str) -> list[Row]:
         return self.fired.get(relation, [])
@@ -212,6 +215,12 @@ class Evaluator:
         self._full_dirty: set[str] = set()
         self._accumulated: dict[str, set[Row]] = {}
         self._active: set[str] = set()
+        # Always-on profiling counters (cumulative over the runtime's
+        # life): head derivations staged per rule, and semi-naive passes
+        # per stratum.  Plain dicts — one lookup per staged tuple — so the
+        # cost stays far below the joins that produced the tuple.
+        self.rule_fires: dict[str, int] = {}
+        self.stratum_iteration_totals: dict[int, int] = {}
 
     # -- validation ---------------------------------------------------------
 
@@ -294,9 +303,9 @@ class Evaluator:
                 raise CatalogError(f"inbox tuple for undeclared relation {rel!r}")
             self._insert_local(rel, tuple(row))
 
-        for bucket in self.stratum_buckets:
+        for index, bucket in enumerate(self.stratum_buckets):
             if bucket:
-                self._run_stratum(bucket)
+                self._run_stratum(index, bucket)
 
         # Apply deletions derived by delete rules.  The fixpoint has already
         # run, so rules reading these tables must reconsider next step.
@@ -363,7 +372,12 @@ class Evaluator:
 
     # -- stratum fixpoint ---------------------------------------------------
 
-    def _run_stratum(self, bucket: tuple[Rule, ...]) -> None:
+    def _record_iterations(self, index: int, passes: int) -> None:
+        self._result.stratum_iterations.append((index, passes))
+        totals = self.stratum_iteration_totals
+        totals[index] = totals.get(index, 0) + passes
+
+    def _run_stratum(self, index: int, bucket: tuple[Rule, ...]) -> None:
         """Fixpoint for one stratum with exactly-once firing per binding.
 
         Each iteration evaluates rules against a *consistent snapshot*:
@@ -378,7 +392,7 @@ class Evaluator:
         normal_rules = [r for r in bucket if not r.is_aggregate]
         agg_rules = [r for r in bucket if r.is_aggregate]
         if self.naive:
-            self._run_stratum_naive(normal_rules, agg_rules)
+            self._run_stratum_naive(index, normal_rules, agg_rules)
             return
 
         staged: list[tuple[Rule, str, Row]] = []
@@ -432,9 +446,10 @@ class Evaluator:
                     ):
                         staged.append((rule, rel, row))
             delta = self._apply_staged(staged)
+        self._record_iterations(index, iterations + 1)
 
     def _run_stratum_naive(
-        self, normal_rules: list[Rule], agg_rules: list[Rule]
+        self, index: int, normal_rules: list[Rule], agg_rules: list[Rule]
     ) -> None:
         """Textbook naive fixpoint: all rules, full database, every round,
         until a round derives nothing new."""
@@ -457,6 +472,7 @@ class Evaluator:
                     )
                 )
             if not self._apply_staged(staged):
+                self._record_iterations(index, iterations)
                 return
 
     def _apply_staged(
@@ -465,7 +481,9 @@ class Evaluator:
         """Dispatch buffered head tuples; returns the genuinely-new local
         insertions, which become the next semi-naive delta."""
         delta: dict[str, set[Row]] = defaultdict(set)
+        fires = self.rule_fires
         for rule, rel, row in staged:
+            fires[rule.name] = fires.get(rule.name, 0) + 1
             if self._dispatch_head(rule, rel, row):
                 delta[rel].add(row)
         return delta

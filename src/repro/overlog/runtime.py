@@ -28,12 +28,17 @@ import random
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Optional
 
+from ..metrics.registry import NodeMetrics
 from .ast import Program, Rule
 from .catalog import Catalog, Row
 from .errors import CatalogError
 from .eval import Evaluator, StepResult
 from .functions import FunctionLibrary
 from .parser import parse
+
+# An inbox tuple's trace context: (SpanRef, ...) from repro.metrics.trace,
+# kept duck-typed here so the engine has no hard dependency on tracing.
+TraceContext = tuple
 
 
 @dataclass
@@ -54,6 +59,7 @@ class OverlogRuntime:
         seed: int = 0,
         extra_functions: Optional[dict[str, Callable[..., Any]]] = None,
         naive: bool = False,
+        metrics: "NodeMetrics | bool | None" = None,
     ):
         if isinstance(program, str):
             program = parse(program)
@@ -76,8 +82,20 @@ class OverlogRuntime:
         self.evaluator = Evaluator(
             program.rules, self.catalog, self.functions, address, naive=naive
         )
+        # Always-on runtime metrics (pass metrics=False to measure their
+        # cost, as benchmark E8 does).  A NodeMetrics instance may also be
+        # passed in to share a registry.
+        if metrics is False:
+            self.metrics: Optional[NodeMetrics] = None
+        elif metrics is None or metrics is True:
+            self.metrics = NodeMetrics(str(address))
+        else:
+            self.metrics = metrics
+        if self.metrics is not None:
+            self.metrics.bind_evaluator(self.evaluator)
 
-        self._inbox: list[tuple[str, Row]] = []
+        self._inbox: list[tuple[str, Row, TraceContext]] = []
+        self.last_step_ctx: TraceContext = ()
         self._deferred_deletes: list[tuple[str, Row]] = []
         self._watchers: dict[str, list[Callable[[Row], None]]] = {}
         self.timers: dict[str, TimerState] = {
@@ -109,9 +127,19 @@ class OverlogRuntime:
 
     # -- external interface ---------------------------------------------------
 
-    def insert(self, relation: str, row: Iterable[Any]) -> None:
-        """Queue a tuple for the next timestep."""
-        self._inbox.append((relation, tuple(row)))
+    def insert(
+        self,
+        relation: str,
+        row: Iterable[Any],
+        trace: TraceContext = (),
+    ) -> None:
+        """Queue a tuple for the next timestep.
+
+        ``trace`` carries the causal span context the tuple arrived under
+        (see :mod:`repro.metrics.trace`); the step that consumes it runs
+        under the union of its inbox contexts.
+        """
+        self._inbox.append((relation, tuple(row), tuple(trace)))
 
     def insert_many(self, relation: str, rows: Iterable[Iterable[Any]]) -> None:
         for row in rows:
@@ -180,17 +208,37 @@ class OverlogRuntime:
             if now < self._now:
                 raise ValueError(f"clock moved backwards: {now} < {self._now}")
             self._now = now
-        inbox = self._inbox
+        entries = self._inbox
         self._inbox = []
-        inbox.extend(self._due_timer_tuples(self._now))
+        entries.extend(
+            (rel, row, ()) for rel, row in self._due_timer_tuples(self._now)
+        )
+        # The step's causal context is the (first-seen ordered, hence
+        # deterministic) union of its inbox tuples' contexts; derived
+        # effects — sends, @next deferrals — inherit it.
+        ctx: list = []
+        seen_refs: set = set()
+        for _rel, _row, trace in entries:
+            for ref in trace:
+                if ref not in seen_refs:
+                    seen_refs.add(ref)
+                    ctx.append(ref)
+        step_ctx = tuple(ctx)
         pre_deletes = self._deferred_deletes
         self._deferred_deletes = []
-        result = self.evaluator.step(inbox, pre_deletes=pre_deletes)
+        result = self.evaluator.step(
+            [(rel, row) for rel, row, _ in entries], pre_deletes=pre_deletes
+        )
         # @next derivations become next step's inbox / pre-deletions.
-        self._inbox.extend(result.deferred_inserts)
+        self._inbox.extend(
+            (rel, row, step_ctx) for rel, row in result.deferred_inserts
+        )
         self._deferred_deletes.extend(result.deferred_deletes)
+        self.last_step_ctx = step_ctx
         self.step_count += 1
         self.total_derivations += result.derivation_count
+        if self.metrics is not None:
+            self.metrics.record_step(self._now, result)
         self._notify_watchers(result)
         return result
 

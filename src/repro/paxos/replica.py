@@ -106,6 +106,11 @@ class PaxosReplica(OverlogProcess):
         rt.install("max_promised", self._disk.get("max_promised", [(0, 0)]))
         rt.install("acc", self._disk.get("acc", []))
         rt.install("decided", self._disk.get("decided", []))
+        metrics = self.metrics
+        rt.watch("decided", lambda row: metrics.counter("paxos.decided").inc())
+        rt.watch(
+            "role", lambda row: metrics.counter("paxos.role_changes").inc()
+        )
 
     def on_crash(self) -> None:
         # Persist acceptor and learner state ("fsync on crash" is a

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Optional
 
+from ..metrics import ClusterMetrics, Tracer
 from .network import Address, LatencyModel, Network
 from .node import Process
 from .simulator import Simulator
@@ -24,7 +25,18 @@ class Cluster:
         loss_rate: float = 0.0,
     ):
         self.sim = Simulator()
-        self.network = Network(self.sim, latency=latency, loss_rate=loss_rate, seed=seed)
+        # Observability: one cluster-wide metrics aggregator (every node's
+        # registry is adopted into it on attach) and one tracer driven by
+        # the virtual clock (see docs/OBSERVABILITY.md).
+        self.metrics = ClusterMetrics()
+        self.tracer = Tracer(clock=lambda: self.sim.now)
+        self.network = Network(
+            self.sim,
+            latency=latency,
+            loss_rate=loss_rate,
+            seed=seed,
+            tracer=self.tracer,
+        )
         self.seed = seed
         self.processes: dict[Address, Process] = {}
 
@@ -102,3 +114,18 @@ class Cluster:
         return self.sim.run_until_condition(
             condition, max_time_ms=max_time_ms
         )
+
+    # -- observability -----------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        return self.metrics.snapshot(now_ms=self.sim.now)
+
+    def dashboard(self) -> str:
+        """Text snapshot of cluster-wide metrics (operator view)."""
+        return self.metrics.render_dashboard(now_ms=self.sim.now)
+
+    def export_metrics_jsonl(self, path):
+        return self.metrics.export_jsonl(path, now_ms=self.sim.now)
+
+    def export_traces_jsonl(self, path) -> None:
+        self.tracer.export_jsonl(path)

@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Callable, Optional
 
+from ..metrics.trace import Tracer
 from .simulator import Simulator
 
 Address = str
@@ -65,11 +66,15 @@ class Network:
         latency: Optional[LatencyModel] = None,
         loss_rate: float = 0.0,
         seed: int = 0,
+        tracer: Optional[Tracer] = None,
     ):
         self.sim = sim
         self.latency = latency or LatencyModel()
         self.loss_rate = loss_rate
         self.rng = random.Random(seed)
+        # Causal tracing: sends capture the tracer's active span context
+        # into the message envelope; deliveries reopen it as child spans.
+        self.tracer = tracer
         self.stats = NetworkStats()
         self._handlers: dict[Address, Callable[[str, tuple], None]] = {}
         self._last_delivery: dict[tuple[Address, Address], int] = {}
@@ -129,11 +134,17 @@ class Network:
         size = _estimate_size(row)
         self.stats.sent += 1
         self.stats.bytes_sent += size
+        tracer = self.tracer
+        mid = tracer.on_send(src, dst, relation) if tracer is not None else None
         if not self.can_reach(src, dst):
             self.stats.dropped_partition += 1
+            if tracer is not None:
+                tracer.on_drop(mid, "partition")
             return
         if self.loss_rate > 0 and self.rng.random() < self.loss_rate:
             self.stats.dropped_loss += 1
+            if tracer is not None:
+                tracer.on_drop(mid, "loss")
             return
         if self.same_machine(src, dst):
             # Local transfer: loopback/disk, no wire-bandwidth term.
@@ -145,20 +156,41 @@ class Network:
         link = (src, dst)
         arrival = max(arrival, self._last_delivery.get(link, 0))
         self._last_delivery[link] = arrival
-        self.sim.schedule_at(arrival, lambda: self._deliver(src, dst, relation, row))
+        self.sim.schedule_at(
+            arrival, lambda: self._deliver(src, dst, relation, row, mid)
+        )
 
-    def _deliver(self, src: Address, dst: Address, relation: str, row: tuple) -> None:
+    def _deliver(
+        self,
+        src: Address,
+        dst: Address,
+        relation: str,
+        row: tuple,
+        mid: Optional[int] = None,
+    ) -> None:
         # Partition / crash checks happen again at delivery time: a message
         # in flight when the link breaks (or the destination dies) is lost.
+        tracer = self.tracer
         if not self.can_reach(src, dst):
             self.stats.dropped_partition += 1
+            if tracer is not None:
+                tracer.on_drop(mid, "partition")
             return
         handler = self._handlers.get(dst)
         if handler is None:
             self.stats.dropped_dead += 1
+            if tracer is not None:
+                tracer.on_drop(mid, "dead")
             return
         self.stats.delivered += 1
-        handler(relation, row)
+        if tracer is not None:
+            # The handler runs under the delivered context (child spans of
+            # the sender's), never under whatever happened to be ambient.
+            ctx = tracer.on_deliver(mid, dst, relation)
+            with tracer.activate(ctx):
+                handler(relation, row)
+        else:
+            handler(relation, row)
 
 
 def _estimate_size(row: tuple) -> int:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
+from ..metrics import MetricsRegistry, Tracer
 from ..overlog import OverlogRuntime, Program
 from ..overlog.eval import StepResult
 from .network import Address
@@ -33,11 +34,24 @@ class Process:
         self.address = address
         self.cluster: Optional["Cluster"] = None
         self.crashed = False
+        # Per-node metric scope; re-registered with the cluster-wide
+        # aggregator on attach (Overlog nodes swap in their runtime's
+        # registry instead — see OverlogProcess).
+        self.metrics = MetricsRegistry(str(address))
 
     # -- lifecycle, called by the cluster ------------------------------------
 
     def attach(self, cluster: "Cluster") -> None:
         self.cluster = cluster
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        if self.cluster is not None:
+            self.metrics = self.cluster.metrics.adopt(self.metrics)
+
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        return self.cluster.tracer if self.cluster is not None else None
 
     def start(self) -> None:
         """Called once when the node joins the cluster (and on restart)."""
@@ -85,7 +99,13 @@ class OverlogProcess(Process):
     step cannot start earlier.  Both default to zero (infinitely fast
     node), which is right for protocol tests; throughput experiments set
     them to expose the metadata plane as a bottleneck.
+
+    ``METRICS`` is forwarded to the runtime: ``None`` (default) enables
+    the always-on registry, ``False`` disables it — an ablation hook for
+    measuring instrumentation overhead (bench E4/E8).
     """
+
+    METRICS: Any = None
 
     def __init__(
         self,
@@ -103,6 +123,8 @@ class OverlogProcess(Process):
         self.step_cost_ms = step_cost_ms
         self.per_derivation_cost_us = per_derivation_cost_us
         self.runtime = self._make_runtime()
+        if self.runtime.metrics is not None:
+            self.metrics = self.runtime.metrics.registry
         self._step_pending = False
         self._busy_until = 0
         self._timer_handle: Optional[EventHandle] = None
@@ -113,6 +135,7 @@ class OverlogProcess(Process):
             address=self.address,
             seed=self._seed,
             extra_functions=self._extra_functions,
+            metrics=self.METRICS,
         )
 
     # -- lifecycle --------------------------------------------------------------
@@ -132,6 +155,11 @@ class OverlogProcess(Process):
     def reset_for_restart(self) -> None:
         """Rebuild the runtime from scratch (crash loses soft state)."""
         self.runtime = self._make_runtime()
+        # Metrics are soft state too: a restarted node reports from zero,
+        # and its fresh registry replaces the old one cluster-wide.
+        if self.runtime.metrics is not None:
+            self.metrics = self.runtime.metrics.registry
+        self._register_metrics()
         self._step_pending = False
         self._busy_until = 0
         self._timer_handle = None
@@ -144,15 +172,29 @@ class OverlogProcess(Process):
     # -- messaging ----------------------------------------------------------------
 
     def handle_message(self, relation: str, row: tuple) -> None:
-        self.runtime.insert(relation, row)
+        # Deliveries run under the message's span context (set by the
+        # network); remember it on the inbox tuple so the step that
+        # eventually consumes the tuple can resume the trace.
+        tracer = self.tracer
+        ctx = tracer.current if tracer is not None else ()
+        self.runtime.insert(relation, row, trace=ctx)
         self._schedule_step()
 
-    def inject(self, relation: str, row: tuple) -> None:
+    def inject(self, relation: str, row: tuple, trace: Any = None) -> None:
         """Locally insert an event (e.g. an application request) and wake
-        the node up."""
+        the node up.  ``trace`` may be a SpanRef (or tuple of them) to
+        stamp the event with a causal trace; otherwise the ambient tracer
+        context, if any, is inherited."""
         if self.crashed:
             return
-        self.runtime.insert(relation, tuple(row))
+        if trace is None:
+            tracer = self.tracer
+            ctx = tracer.current if tracer is not None else ()
+        elif isinstance(trace, tuple):
+            ctx = trace
+        else:
+            ctx = (trace,)
+        self.runtime.insert(relation, tuple(row), trace=ctx)
         self._schedule_step()
 
     # -- stepping ------------------------------------------------------------------
@@ -174,9 +216,26 @@ class OverlogProcess(Process):
                 result.derivation_count * self.per_derivation_cost_us
             ) // 1000
             self._busy_until = self.now + self.step_cost_ms + cost_ms
-        self.handle_step_result(result)
-        for dest, relation, row in result.sends:
-            self.send(dest, relation, row)
+        # The step's effects (result handling, remote sends) execute under
+        # the causal context of the inbox tuples that drove the fixpoint,
+        # so traces follow requests across nodes.
+        tracer = self.tracer
+        ctx = self.runtime.last_step_ctx
+        if tracer is not None and ctx:
+            tracer.annotate(
+                ctx,
+                "step",
+                node=self.address,
+                derivations=result.derivation_count,
+            )
+            with tracer.activate(ctx):
+                self.handle_step_result(result)
+                for dest, relation, row in result.sends:
+                    self.send(dest, relation, row)
+        else:
+            self.handle_step_result(result)
+            for dest, relation, row in result.sends:
+                self.send(dest, relation, row)
         self._schedule_timer_wakeup()
         # Rules may have produced local events for the next step.
         if self.runtime.has_pending_work:

@@ -1,6 +1,5 @@
 """Tests for failure-schedule helpers and network accounting."""
 
-from repro.overlog import OverlogRuntime
 from repro.sim import (
     Cluster,
     FailureSchedule,

@@ -10,7 +10,7 @@ specification under arbitrary workloads.
 
 from hypothesis import settings
 from hypothesis import strategies as st
-from hypothesis.stateful import RuleBasedStateMachine, precondition, rule
+from hypothesis.stateful import RuleBasedStateMachine, rule
 
 from repro.boomfs import BoomFSClient, BoomFSMaster, DataNode, FSError
 from repro.sim import Cluster, LatencyModel

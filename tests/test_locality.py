@@ -1,7 +1,6 @@
 """Tests for data-locality scheduling (BOOM-MR's Hadoop-FIFO port) and
 machine colocation in the network model."""
 
-import pytest
 
 from repro.mapreduce import (
     JobRunner,

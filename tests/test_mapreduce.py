@@ -1,7 +1,6 @@
 """Integration tests for BOOM-MR: the declarative JobTracker, TaskTrackers,
 shuffle, speculation policies, and fault handling."""
 
-import pytest
 
 from repro.mapreduce import (
     JobRunner,

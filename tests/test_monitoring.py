@@ -64,13 +64,19 @@ class TestRuleTracing:
             rt.tick()
         assert sorted(plain.rows("c")) == sorted(traced.rows("c"))
 
+    def test_unknown_rule_name_rejected(self):
+        with pytest.raises(KeyError, match="zzz"):
+            add_rule_tracing(parse(SIMPLE), rule_names=["r1", "zzz"])
+
+    def test_double_instrumentation_is_an_error(self):
+        traced = add_rule_tracing(parse(SIMPLE))
+        with pytest.raises(ValueError, match="already traced"):
+            add_rule_tracing(traced)
+
     def test_boomfs_master_program_traceable(self):
         # The headline claim: instrument the real NameNode without
         # touching it.
         traced = add_rule_tracing(master_program())
-        cluster = Cluster(latency=LatencyModel(1, 1))
-        master = cluster.add(BoomFSMaster("master"))
-        master_traced = BoomFSMaster("master2")
         # construct a runtime over the traced program directly
         rt = OverlogRuntime(traced, address="master2")
         rt.install("file", [(0, -1, "", True)])
@@ -98,6 +104,46 @@ class TestRelationTracing:
     def test_unknown_relation_rejected(self):
         with pytest.raises(KeyError):
             add_relation_tracing(parse(SIMPLE), ["zzz"])
+
+    def test_double_relation_instrumentation_is_an_error(self):
+        traced = add_relation_tracing(parse(SIMPLE), ["b"])
+        with pytest.raises(ValueError, match="already traced"):
+            add_relation_tracing(traced, ["b"])
+
+    def test_arity_zero_relation(self):
+        source = SIMPLE + "event(ping, 0);\nr3 ping() :- a(X), X > 2;\n"
+        rt = OverlogRuntime(add_relation_tracing(parse(source), ["ping"]))
+        collector = TraceCollector()
+        collector.attach(rt)
+        rt.insert_many("a", [(1,), (3,)])
+        rt.tick()
+        assert collector.relation_counts() == {"ping": 1}
+
+    def test_metamorphic_master_equivalence(self):
+        # Tracing the full NameNode program must not change what it
+        # derives: run the same workload on the plain and doubly-rewritten
+        # programs and compare every non-trace relation.
+        plain_rt = OverlogRuntime(master_program(), address="m")
+        traced_prog = add_relation_tracing(
+            add_rule_tracing(master_program()), ["fqpath", "chunk_cnt"]
+        )
+        traced_rt = OverlogRuntime(traced_prog, address="m")
+        for rt in (plain_rt, traced_rt):
+            rt.install("file", [(0, -1, "", True)])
+            rt.install("repfactor", [(2,)])
+            rt.install("dn_timeout", [(3000,)])
+            for i, (op, path) in enumerate(
+                [("mkdir", "/a"), ("mkdir", "/a/b"), ("create", "/a/b/f"),
+                 ("ls", "/a"), ("rm", "/a/b")]
+            ):
+                rt.insert("request", (i, "c", op, path, None))
+                rt.tick(now=i + 1)
+                while rt.has_pending_work:
+                    rt.tick(now=i + 1)
+        for decl in master_program().tables():
+            assert sorted(plain_rt.rows(decl.name)) == sorted(
+                traced_rt.rows(decl.name)
+            ), f"relation {decl.name} diverged under tracing"
 
 
 class TestInvariants:
@@ -143,24 +189,9 @@ class TestInvariants:
 
     def test_live_cluster_stays_invariant_clean(self):
         # Run a real workload with invariants merged into the master.
-        from repro.overlog import Program
-
-        class CheckedMaster(BoomFSMaster):
-            def _make_runtime(self):
-                rt = super()._make_runtime()
-                return rt
-
         program = with_invariants(master_program(), boomfs_invariants_program())
         cluster = Cluster(latency=LatencyModel(1, 1))
-        master = cluster.add(
-            type(
-                "M",
-                (BoomFSMaster,),
-                {"__init__": lambda self, address: BoomFSMaster.__init__(
-                    self, address, replication=2
-                )},
-            )("master")
-        )
+        master = cluster.add(BoomFSMaster("master", replication=2))
         # swap in the instrumented program
         master._program = program
         cluster.crash("master")

@@ -1,7 +1,6 @@
 """Further MapReduce workloads: distributed sort, concurrent jobs, and
 the workload generators themselves."""
 
-import pytest
 
 from repro.mapreduce import (
     JobRunner,

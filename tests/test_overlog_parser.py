@@ -5,7 +5,6 @@ import pytest
 from repro.overlog import (
     AggSpec,
     Assign,
-    Atom,
     BinOp,
     Cond,
     Const,

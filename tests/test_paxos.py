@@ -1,6 +1,5 @@
 """Tests for Overlog Paxos and the Paxos-replicated NameNode."""
 
-import pytest
 
 from repro.boomfs import DataNode
 from repro.paxos import PaxosReplica, ReplicatedFSClient, ReplicatedMaster

@@ -4,7 +4,7 @@ hash-partitioned (scalability) AND Paxos-replicated per partition
 
 import pytest
 
-from repro.boomfs import DataNode, FSError
+from repro.boomfs import DataNode
 from repro.boomfs.partition import (
     PARTITION_DROPPED_RULES,
     PartitionedFSClient,

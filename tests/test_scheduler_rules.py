@@ -5,7 +5,6 @@ progress reports as raw tuples and asserting on the derived assignments —
 so each policy rule is tested in isolation from the cluster machinery.
 """
 
-import pytest
 
 from repro.mapreduce import REDUCE_BASE, scheduler_program
 from repro.overlog import OverlogRuntime

@@ -2,14 +2,12 @@
 
 import pytest
 
-from repro.overlog import OverlogRuntime
 from repro.sim import (
     Cluster,
     FailureSchedule,
     LatencyModel,
     Network,
     OverlogProcess,
-    Process,
     Simulator,
 )
 
