@@ -52,11 +52,13 @@ from .errors import (
 from .eval import Evaluator, StepResult
 from .functions import FunctionLibrary
 from .parser import parse, parse_with_watches
+from .plan import AggregatePlan, JoinPlan, PlanCache, RulePlans, compile_expr
 from .runtime import OverlogRuntime
 from .strata import check_program, compute_strata
 
 __all__ = [
     "AggSpec",
+    "AggregatePlan",
     "Assign",
     "Atom",
     "BinOp",
@@ -69,13 +71,16 @@ __all__ = [
     "EventDecl",
     "FuncCall",
     "FunctionLibrary",
+    "JoinPlan",
     "LexError",
     "NotIn",
     "OverlogError",
     "OverlogRuntime",
     "ParseError",
+    "PlanCache",
     "Program",
     "Rule",
+    "RulePlans",
     "StepResult",
     "StratificationError",
     "Table",
@@ -85,6 +90,7 @@ __all__ = [
     "UnknownFunctionError",
     "Var",
     "check_program",
+    "compile_expr",
     "compute_strata",
     "parse",
     "parse_with_watches",

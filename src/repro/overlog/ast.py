@@ -18,6 +18,7 @@ mutating existing ones.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import cached_property
 from typing import Optional, Union
 
 AGGREGATE_FUNCS = ("count", "sum", "min", "max", "avg", "list")
@@ -205,11 +206,23 @@ class Rule:
     def is_aggregate(self) -> bool:
         return any(isinstance(a, AggSpec) for a in self.head.args)
 
-    def positive_atoms(self) -> tuple[Atom, ...]:
+    # The evaluator walks a rule's positive/negated atoms on every
+    # semi-naive pass; cached_property writes straight into __dict__, which
+    # frozen dataclasses permit, and the cache never leaks into
+    # equality/hashing (those use the declared fields only).
+    @cached_property
+    def positives(self) -> tuple[Atom, ...]:
         return tuple(e for e in self.body if isinstance(e, Atom))
 
-    def negated_atoms(self) -> tuple[Atom, ...]:
+    @cached_property
+    def negatives(self) -> tuple[Atom, ...]:
         return tuple(e.atom for e in self.body if isinstance(e, NotIn))
+
+    def positive_atoms(self) -> tuple[Atom, ...]:
+        return self.positives
+
+    def negated_atoms(self) -> tuple[Atom, ...]:
+        return self.negatives
 
     def __str__(self) -> str:
         kw = "delete " if self.delete else ""

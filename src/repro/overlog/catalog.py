@@ -53,6 +53,14 @@ class Table:
         # used by the evaluator for bound-column joins; maintained on
         # every insert/delete once built.
         self._indexes: dict[int, dict] = {}
+        # Composite hash indexes keyed by an ordered column tuple
+        # (columns -> key tuple -> rows).  Built on demand by the join
+        # plans that probe them (see repro.overlog.plan); maintained on
+        # every insert/delete once built.  ``index_builds`` counts
+        # from-scratch constructions so tests can assert each index is
+        # built exactly once.
+        self._composite_indexes: dict[tuple[int, ...], dict[Row, set[Row]]] = {}
+        self.index_builds = 0
 
     def _key_of(self, row: Row) -> Row:
         if not self.decl.keys:
@@ -86,6 +94,14 @@ class Table:
                 if bucket is not None:
                     bucket.discard(old)
             index.setdefault(row[column], set()).add(row)
+        for columns, index in self._composite_indexes.items():
+            if old is not None:
+                bucket = index.get(tuple(old[c] for c in columns))
+                if bucket is not None:
+                    bucket.discard(old)
+            index.setdefault(
+                tuple(row[c] for c in columns), set()
+            ).add(row)
         return InsertResult(inserted=True, displaced=old)
 
     def delete(self, row: Row) -> bool:
@@ -95,6 +111,10 @@ class Table:
             del self._rows[key]
             for column, index in self._indexes.items():
                 bucket = index.get(row[column])
+                if bucket is not None:
+                    bucket.discard(row)
+            for columns, index in self._composite_indexes.items():
+                bucket = index.get(tuple(row[c] for c in columns))
                 if bucket is not None:
                     bucket.discard(row)
             return True
@@ -109,7 +129,34 @@ class Table:
             for row in self._rows.values():
                 index.setdefault(row[column], set()).add(row)
             self._indexes[column] = index
+            self.index_builds += 1
         return list(index.get(value, ()))
+
+    def ensure_index(self, columns: tuple[int, ...]) -> dict:
+        """Get-or-build the composite hash index over ``columns``.
+
+        Single-column probes use the legacy per-column index so the two
+        machineries never duplicate storage for the same column.
+        """
+        index = self._composite_indexes.get(columns)
+        if index is None:
+            index = {}
+            for row in self._rows.values():
+                index.setdefault(
+                    tuple(row[c] for c in columns), set()
+                ).add(row)
+            self._composite_indexes[columns] = index
+            self.index_builds += 1
+        return index
+
+    def rows_matching_cols(
+        self, columns: tuple[int, ...], values: Row
+    ) -> list[Row]:
+        """Rows where ``row[c] == v`` for each paired column/value, via a
+        composite hash index built on first use for that column tuple."""
+        if len(columns) == 1:
+            return self.rows_matching(columns[0], values[0])
+        return list(self.ensure_index(columns).get(values, ()))
 
     def contains(self, row: Row) -> bool:
         return self._rows.get(self._key_of(row)) == row
@@ -122,9 +169,14 @@ class Table:
         # Snapshot: evaluation may insert into this table mid-scan.
         return iter(list(self._rows.values()))
 
+    def rows_list(self) -> list[Row]:
+        """Snapshot of all rows as a list (what join plans scan)."""
+        return list(self._rows.values())
+
     def clear(self) -> None:
         self._rows.clear()
         self._indexes.clear()
+        self._composite_indexes.clear()
 
     def __len__(self) -> int:
         return len(self._rows)

@@ -39,6 +39,7 @@ from .ast import (
 from .catalog import Catalog, Row
 from .errors import CatalogError, EvaluationError
 from .functions import FunctionLibrary
+from .plan import PlanCache, aggregate as _aggregate
 from .strata import compute_strata, rules_by_stratum
 
 # A fixpoint that runs longer than this many semi-naive iterations within a
@@ -176,6 +177,7 @@ class Evaluator:
         functions: FunctionLibrary,
         local_address: Any,
         naive: bool = False,
+        compile_plans: bool = True,
     ):
         self.catalog = catalog
         self.functions = functions
@@ -188,11 +190,15 @@ class Evaluator:
         # sound for rules calling nondeterministic builtins (f_uid etc.),
         # which rely on exactly-once firing.
         self.naive = naive
-        self._validate(rules)
-        strata = compute_strata(rules)
-        self.strata = strata
-        self.stratum_buckets = rules_by_stratum(rules, strata)
-        self.rules = rules
+        # Compiled join plans (repro.overlog.plan) are the default hot
+        # path; ``compile_plans=False`` falls back to the AST-walking
+        # interpreter, kept as the reference the differential tests (and
+        # the A1 ablation) compare against.  Naive mode always
+        # interprets — it IS the reference semantics.
+        self.planner: Optional[PlanCache] = (
+            PlanCache(catalog, functions) if compile_plans and not naive else None
+        )
+        self._install_rules(rules)
         # Mutable per-step state.
         self._event_pool: dict[str, set[Row]] = {}
         self._result: StepResult = StepResult()
@@ -221,6 +227,46 @@ class Evaluator:
         # cost stays far below the joins that produced the tuple.
         self.rule_fires: dict[str, int] = {}
         self.stratum_iteration_totals: dict[int, int] = {}
+
+    # -- rule installation ---------------------------------------------------
+
+    def _install_rules(self, rules: tuple[Rule, ...]) -> None:
+        """Validate, stratify, and compile a rule set (install time).
+
+        Join plans for every rule × delta-position are compiled here,
+        once, so the per-pass hot path never re-derives index choices or
+        re-walks expression ASTs.
+        """
+        self._validate(rules)
+        strata = compute_strata(rules)
+        self.strata = strata
+        self.stratum_buckets = rules_by_stratum(rules, strata)
+        self.rules = rules
+        if self.planner is not None:
+            self.planner.invalidate()
+            self.planner.compile_program(rules)
+
+    def add_rule(self, rule: Rule) -> None:
+        """Install one additional rule (invalidates the plan cache)."""
+        self.set_rules(self.rules + (rule,))
+
+    def set_rules(self, rules: tuple[Rule, ...]) -> None:
+        """Swap in a new rule set (program swap).
+
+        The plan cache is invalidated and rebuilt, and every relation the
+        new rules read is marked fully dirty so the next step re-derives
+        against existing facts.
+        """
+        self._install_rules(rules)
+        for rule in rules:
+            for atom in (*rule.positives, *rule.negatives):
+                self._full_dirty_pending.add(atom.name)
+
+    def explain(self, rule_name: Optional[str] = None) -> str:
+        """Render the compiled join plans as text (see docs/EVALUATOR.md)."""
+        if self.planner is None:
+            return "(no compiled plans: interpreted evaluator)"
+        return self.planner.explain(rule_name)
 
     # -- validation ---------------------------------------------------------
 
@@ -323,10 +369,10 @@ class Evaluator:
         self._full_dirty_pending.add(relation)
 
     def _rule_is_active(self, rule: Rule) -> bool:
-        for atom in rule.positive_atoms():
+        for atom in rule.positives:
             if atom.name in self._active:
                 return True
-        for atom in rule.negated_atoms():
+        for atom in rule.negatives:
             if atom.name in self._active:
                 return True
         return False
@@ -334,10 +380,10 @@ class Evaluator:
     def _rule_needs_full_eval(self, rule: Rule) -> bool:
         """A rule must be fully re-evaluated when a relation it reads
         changed non-monotonically (insert deltas can't express removals)."""
-        for atom in rule.positive_atoms():
+        for atom in rule.positives:
             if atom.name in self._full_dirty:
                 return True
-        for atom in rule.negated_atoms():
+        for atom in rule.negatives:
             if atom.name in self._full_dirty:
                 return True
         return False
@@ -401,7 +447,7 @@ class Evaluator:
         for rule in agg_rules:
             if not self._rule_is_active(rule):
                 continue
-            for rel, row in self._eval_aggregate_rule(rule):
+            for rel, row in self._derive_aggregate(rule):
                 staged.append((rule, rel, row))
 
         # Iteration 0: rules touching a non-monotonically changed relation
@@ -409,21 +455,23 @@ class Evaluator:
         # the rows that accumulated this step (inbox plus lower strata),
         # which is what makes steady-state operations O(delta) rather than
         # O(database).  The snapshot is taken here because the stratum's
-        # own loop keeps growing ``_accumulated``.
+        # own loop keeps growing ``_accumulated``.  Each relation's delta
+        # is materialized as a list once and shared by every rule in the
+        # pass.
         acc = {rel: set(rows) for rel, rows in self._accumulated.items()}
+        acc_lists = {rel: list(rows) for rel, rows in acc.items()}
         for rule in normal_rules:
             if self._rule_needs_full_eval(rule):
-                for rel, row in self._eval_rule(
+                for rel, row in self._derive(
                     rule, delta_pos=None, delta_rows=()
                 ):
                     staged.append((rule, rel, row))
                 continue
-            positives = rule.positive_atoms()
-            for pos, atom in enumerate(positives):
-                rows = acc.get(atom.name)
+            for pos, atom in enumerate(rule.positives):
+                rows = acc_lists.get(atom.name)
                 if not rows:
                     continue
-                for rel, row in self._eval_rule(rule, pos, rows, exclude=acc):
+                for rel, row in self._derive(rule, pos, rows, exclude=acc):
                     staged.append((rule, rel, row))
 
         delta = self._apply_staged(staged)
@@ -435,18 +483,42 @@ class Evaluator:
                     "fixpoint did not converge (primary-key oscillation?)"
                 )
             staged = []
+            delta_lists = {rel: list(rows) for rel, rows in delta.items()}
             for rule in normal_rules:
-                positives = rule.positive_atoms()
-                for pos, atom in enumerate(positives):
-                    if atom.name not in delta:
+                for pos, atom in enumerate(rule.positives):
+                    rows = delta_lists.get(atom.name)
+                    if not rows:
                         continue
-                    rows = delta[atom.name]
-                    for rel, row in self._eval_rule(
+                    for rel, row in self._derive(
                         rule, pos, rows, exclude=delta
                     ):
                         staged.append((rule, rel, row))
             delta = self._apply_staged(staged)
         self._record_iterations(index, iterations + 1)
+
+    # -- plan/interpreter dispatch ------------------------------------------
+
+    def _derive(
+        self,
+        rule: Rule,
+        delta_pos: Optional[int],
+        delta_rows: list[Row],
+        exclude: Optional[dict[str, set[Row]]] = None,
+    ) -> list[tuple[str, Row]]:
+        """Derive a non-aggregate rule's head tuples through the compiled
+        plan when available, otherwise the AST-walking reference path."""
+        planner = self.planner
+        if planner is not None:
+            plans = planner.plans_for(rule)
+            plan = plans.full if delta_pos is None else plans.by_pos[delta_pos]
+            return plan.execute(self, delta_rows, exclude)
+        return self._eval_rule(rule, delta_pos, delta_rows, exclude)
+
+    def _derive_aggregate(self, rule: Rule) -> list[tuple[str, Row]]:
+        planner = self.planner
+        if planner is not None:
+            return planner.plans_for(rule).agg.execute(self)
+        return self._eval_aggregate_rule(rule)
 
     def _run_stratum_naive(
         self, index: int, normal_rules: list[Rule], agg_rules: list[Rule]
@@ -531,22 +603,24 @@ class Evaluator:
         semi-naive split.
         """
         envs = self._body_envs(rule, delta_pos, delta_rows, exclude)
-        out: list[tuple[str, Row]] = []
-        seen_bindings: set[frozenset] = set()
-        for env in envs:
-            # Joins through wildcard columns can produce several *identical*
-            # environments; fire once per distinct binding, or
-            # nondeterministic builtins (f_uid, f_rand) would mint spurious
-            # extra tuples.
-            signature = frozenset(env.items())
-            if signature in seen_bindings:
-                continue
-            seen_bindings.add(signature)
-            row = tuple(
-                eval_expr(arg, env, self.functions) for arg in rule.head.args
+        # ``_body_envs`` already deduplicates identical environments at
+        # every atom step, and the later body elements (assignments,
+        # conditions, negation) preserve distinctness — so the
+        # environments arriving here are pairwise distinct and need no
+        # second signature-freezing pass.  (Wildcard joins producing
+        # several identical environments fire once per distinct binding,
+        # which is what keeps nondeterministic builtins like f_uid from
+        # minting spurious extra tuples.)
+        head_name = rule.head.name
+        head_args = rule.head.args
+        functions = self.functions
+        return [
+            (
+                head_name,
+                tuple(eval_expr(arg, env, functions) for arg in head_args),
             )
-            out.append((rule.head.name, row))
-        return out
+            for env in envs
+        ]
 
     def _body_envs(
         self,
@@ -564,7 +638,14 @@ class Evaluator:
                 rows: Optional[list[Row]] = None
                 index_plan: Optional[tuple[int, Any]] = None
                 if pos == delta_pos:
-                    rows = list(delta_rows)
+                    # Callers pass an already-materialized list (shared
+                    # across every rule in the pass); avoid re-copying it
+                    # here, on the hottest call path.
+                    rows = (
+                        delta_rows
+                        if isinstance(delta_rows, list)
+                        else list(delta_rows)
+                    )
                 elif (
                     delta_pos is not None
                     and pos > delta_pos
@@ -727,28 +808,3 @@ class Evaluator:
                 row[i] = _aggregate(spec.func, values)
             out.append((head.name, tuple(row)))
         return out
-
-
-def _sort_key(value: Any) -> tuple:
-    return (type(value).__name__, repr(value))
-
-
-def _aggregate(func: str, values: list[Any]) -> Any:
-    if func == "count":
-        return len(values)
-    if func == "sum":
-        return sum(values)
-    if func == "min":
-        return min(values)
-    if func == "max":
-        return max(values)
-    if func == "avg":
-        return sum(values) / len(values)
-    if func == "list":
-        # A deterministic sorted tuple; mixed types fall back to a
-        # type-name/repr ordering so the result is still reproducible.
-        try:
-            return tuple(sorted(values))
-        except TypeError:
-            return tuple(sorted(values, key=_sort_key))
-    raise EvaluationError(f"unknown aggregate {func}")

@@ -1,0 +1,831 @@
+"""Rule compilation: cached join plans for the Overlog evaluator.
+
+The interpreted evaluator (:mod:`repro.overlog.eval`) re-derives the same
+decisions on every semi-naive pass: which column of each body atom can be
+probed through a hash index, which variables are bound at each body
+position, and how to evaluate every head/predicate expression (a recursive
+AST walk per derived tuple).  All of those are static properties of the
+rule text, so this module resolves them **once, at program-install time**:
+
+* ``compile_expr`` turns an expression AST into a Python closure
+  ``env -> value`` with the same semantics (including Overlog's integer
+  division and short-circuit ``&&``/``||``).
+* ``JoinPlan`` is the compiled form of one rule body for one semi-naive
+  delta position: an ordered sequence of steps (delta scan, composite
+  index probe, table scan, negation check, assignment, condition) with
+  the bound-variable sets and index column choices frozen in.
+* ``PlanCache`` owns every plan for a rule set — one ``JoinPlan`` per
+  rule × delta-position plus a full-evaluation plan and, for aggregate
+  rules, an ``AggregatePlan`` — and is invalidated wholesale when rules
+  are added or swapped.
+
+Plans probe composite (multi-column) hash indexes: where the interpreter
+probed only the *first* bound column, a plan probes **all** bound columns
+at once (`Table.rows_matching_cols`), so a join like
+``chunk(File, Id, Node)`` with ``File`` and ``Node`` bound touches only
+the rows matching both.  The candidate-row filter that remains after the
+probe is a specialized matcher closure, not a generic ``match_atom``
+interpretation.
+
+Correctness notes (load-bearing, relied on by the differential tests):
+
+* Step-level dedup of identical environments is only needed when an atom
+  contains a wildcard argument.  For wildcard-free atoms, distinct input
+  environments with the same key set extend to distinct outputs (new
+  bindings only add keys; rows that agree on every checked and bound
+  column are the same row), so plans skip the frozenset dedup entirely —
+  this is where most of the interpreter's per-tuple overhead went.
+* Environments reaching the head are pairwise distinct for the same
+  reason, so head projection needs no second dedup pass (the interpreted
+  path re-froze every environment to check this).
+* Expression evaluation order, integer-division semantics and error
+  behavior are preserved exactly; the compiled path must be
+  indistinguishable from the interpreter in everything but speed.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Iterable, Optional
+
+from .ast import (
+    AggSpec,
+    Assign,
+    Atom,
+    BinOp,
+    Cond,
+    Const,
+    Expr,
+    FuncCall,
+    NotIn,
+    Rule,
+    UnOp,
+    Var,
+)
+from .catalog import Catalog, Row, Table
+from .errors import EvaluationError
+from .functions import FunctionLibrary
+
+Env = dict[str, Any]
+ExprFn = Callable[[Env], Any]
+
+
+# ---------------------------------------------------------------------------
+# Expression compilation
+# ---------------------------------------------------------------------------
+
+_BINOPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "%": operator.mod,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+def compile_expr(expr: Expr, functions: FunctionLibrary) -> ExprFn:
+    """Compile an expression AST into a closure ``env -> value``.
+
+    Semantics mirror :func:`repro.overlog.eval.eval_expr` exactly,
+    including error messages, so the compiled and interpreted paths are
+    interchangeable.
+    """
+    if isinstance(expr, Const):
+        value = expr.value
+        return lambda env: value
+    if isinstance(expr, Var):
+        if expr.is_wildcard:
+            def wildcard(env: Env) -> Any:
+                raise EvaluationError("wildcard _ used where a value is required")
+            return wildcard
+        name = expr.name
+        def load(env: Env) -> Any:
+            try:
+                return env[name]
+            except KeyError:
+                raise EvaluationError(f"unbound variable {name}") from None
+        return load
+    if isinstance(expr, FuncCall):
+        fname = expr.name
+        call = functions.call
+        arg_fns = tuple(compile_expr(a, functions) for a in expr.args)
+        return lambda env: call(fname, tuple(fn(env) for fn in arg_fns))
+    if isinstance(expr, UnOp):
+        operand = compile_expr(expr.operand, functions)
+        if expr.op == "-":
+            return lambda env: -operand(env)
+        if expr.op == "!":
+            return lambda env: not operand(env)
+        raise EvaluationError(f"unknown unary operator {expr.op}")
+    if isinstance(expr, BinOp):
+        return _compile_binop(expr, functions)
+    raise EvaluationError(f"cannot evaluate {expr!r}")
+
+
+def _compile_binop(expr: BinOp, functions: FunctionLibrary) -> ExprFn:
+    op = expr.op
+    left = compile_expr(expr.left, functions)
+    right = compile_expr(expr.right, functions)
+    if op == "&&":
+        return lambda env: bool(left(env) and right(env))
+    if op == "||":
+        return lambda env: bool(left(env) or right(env))
+    if op == "/":
+        def divide(env: Env) -> Any:
+            lv = left(env)
+            rv = right(env)
+            # Integer operands use integer division (Overlog is int-heavy:
+            # chunk offsets, slot counts); any float operand gives float math.
+            if isinstance(lv, int) and isinstance(rv, int):
+                return lv // rv
+            return lv / rv
+        return divide
+    fn = _BINOPS.get(op)
+    if fn is None:
+        raise EvaluationError(f"unknown operator {op}")
+    return lambda env: fn(left(env), right(env))
+
+
+# ---------------------------------------------------------------------------
+# Atom matchers
+# ---------------------------------------------------------------------------
+
+# Matcher micro-ops, resolved at compile time.  ``check_var`` and
+# ``check_expr`` read the *effective* environment (including bindings made
+# by earlier columns of the same atom), matching the interpreter's strict
+# left-to-right unification.
+_BIND = 0
+_CHECK_VAR = 1
+_CHECK_CONST = 2
+_CHECK_EXPR = 3
+
+MatchFn = Callable[[Row, Env], Optional[Env]]
+
+
+def _compile_matcher(
+    atom: Atom,
+    bound: frozenset,
+    probe_cols: tuple[int, ...],
+    functions: FunctionLibrary,
+) -> MatchFn:
+    """Build ``match(row, env) -> extended env | None`` for one atom.
+
+    Columns in ``probe_cols`` were already constrained by the index probe
+    (constants and previously-bound variables), so the matcher skips them.
+    """
+    arity = len(atom.args)
+    probed = set(probe_cols)
+    ops: list[tuple[int, int, Any]] = []
+    seen_new: set[str] = set()
+    for col, arg in enumerate(atom.args):
+        if isinstance(arg, Var):
+            if arg.is_wildcard:
+                continue
+            if arg.name in bound or arg.name in seen_new:
+                if col not in probed:
+                    ops.append((_CHECK_VAR, col, arg.name))
+            else:
+                ops.append((_BIND, col, arg.name))
+                seen_new.add(arg.name)
+        elif isinstance(arg, Const):
+            if col not in probed:
+                ops.append((_CHECK_CONST, col, arg.value))
+        else:
+            ops.append((_CHECK_EXPR, col, compile_expr(arg, functions)))
+
+    if all(kind == _BIND for kind, _, _ in ops):
+        bind_pairs = tuple((col, name) for _, col, name in ops)
+
+        def match_bind_only(row: Row, env: Env) -> Optional[Env]:
+            if len(row) != arity:
+                return None
+            new_env = dict(env)
+            for col, name in bind_pairs:
+                new_env[name] = row[col]
+            return new_env
+
+        # With zero ops every column is probed/wildcard: any row of the
+        # right arity matches without extending the environment.
+        if not bind_pairs:
+            def match_any(row: Row, env: Env) -> Optional[Env]:
+                return env if len(row) == arity else None
+            return match_any
+        return match_bind_only
+
+    op_tuple = tuple(ops)
+
+    def match(row: Row, env: Env) -> Optional[Env]:
+        if len(row) != arity:
+            return None
+        new_env: Optional[Env] = None
+        for kind, col, payload in op_tuple:
+            if kind == _BIND:
+                if new_env is None:
+                    new_env = dict(env)
+                new_env[payload] = row[col]
+            elif kind == _CHECK_VAR:
+                cur = env if new_env is None else new_env
+                if cur[payload] != row[col]:
+                    return None
+            elif kind == _CHECK_CONST:
+                if payload != row[col]:
+                    return None
+            else:  # _CHECK_EXPR
+                cur = env if new_env is None else new_env
+                if payload(cur) != row[col]:
+                    return None
+        return env if new_env is None else new_env
+
+    return match
+
+
+def _probe_spec(
+    atom: Atom, bound: frozenset, functions: FunctionLibrary
+) -> tuple[tuple[int, ...], tuple[ExprFn, ...]]:
+    """All columns usable as an index probe — every constant argument and
+    every previously-bound variable — i.e. the *most-bound* composite key
+    available at this body position."""
+    cols: list[int] = []
+    fns: list[ExprFn] = []
+    for col, arg in enumerate(atom.args):
+        if isinstance(arg, Const):
+            cols.append(col)
+            fns.append(compile_expr(arg, functions))
+        elif isinstance(arg, Var) and not arg.is_wildcard and arg.name in bound:
+            cols.append(col)
+            fns.append(compile_expr(arg, functions))
+    return tuple(cols), tuple(fns)
+
+
+# ---------------------------------------------------------------------------
+# Plan steps
+# ---------------------------------------------------------------------------
+
+# How an atom step sources its candidate rows relative to the plan's
+# semi-naive delta position.
+_SRC_NORMAL = "full"        # full relation (probe or scan)
+_SRC_DELTA = "delta"        # ranges over the pass's delta rows
+_SRC_POST_DELTA = "full-minus-delta"  # full relation minus the delta
+
+
+class _AtomStep:
+    """One positive body atom: delta scan, composite-index probe, or
+    full scan, followed by the specialized matcher."""
+
+    __slots__ = (
+        "atom", "name", "source", "table", "probe_cols", "probe_fns",
+        "match", "needs_dedup",
+    )
+
+    def __init__(
+        self,
+        atom: Atom,
+        source: str,
+        table: Optional[Table],
+        probe_cols: tuple[int, ...],
+        probe_fns: tuple[ExprFn, ...],
+        match: MatchFn,
+        needs_dedup: bool,
+    ):
+        self.atom = atom
+        self.name = atom.name
+        self.source = source
+        self.table = table
+        self.probe_cols = probe_cols
+        self.probe_fns = probe_fns
+        self.match = match
+        # Only atoms with wildcard columns can map distinct rows onto the
+        # same environment; everything else is provably duplicate-free.
+        self.needs_dedup = needs_dedup
+
+    def run(
+        self,
+        ev: Any,
+        envs: list[Env],
+        delta_rows: list[Row],
+        exclude: Optional[dict[str, set[Row]]],
+    ) -> list[Env]:
+        banned: Optional[set[Row]] = None
+        rows: Optional[Iterable[Row]] = None
+        probing = False
+        if self.source == _SRC_DELTA:
+            rows = delta_rows
+        else:
+            if (
+                self.source == _SRC_POST_DELTA
+                and exclude is not None
+            ):
+                banned = exclude.get(self.name)
+            if self.table is not None and self.probe_cols:
+                probing = True
+            elif self.table is not None:
+                rows = self.table.rows_list()
+            else:
+                rows = ev._event_pool.get(self.name, ())
+            if banned is not None and not probing:
+                rows = [r for r in rows if r not in banned]
+
+        out: list[Env] = []
+        match = self.match
+        seen: Optional[set] = set() if self.needs_dedup else None
+        if probing:
+            table = self.table
+            cols = self.probe_cols
+            fns = self.probe_fns
+            for env in envs:
+                values = tuple(fn(env) for fn in fns)
+                for row in table.rows_matching_cols(cols, values):
+                    if banned is not None and row in banned:
+                        continue
+                    matched = match(row, env)
+                    if matched is not None:
+                        if seen is not None:
+                            sig = frozenset(matched.items())
+                            if sig in seen:
+                                continue
+                            seen.add(sig)
+                        out.append(matched)
+        else:
+            for env in envs:
+                for row in rows:
+                    matched = match(row, env)
+                    if matched is not None:
+                        if seen is not None:
+                            sig = frozenset(matched.items())
+                            if sig in seen:
+                                continue
+                            seen.add(sig)
+                        out.append(matched)
+        return out
+
+    def describe(self) -> str:
+        if self.source == _SRC_DELTA:
+            access = f"delta({self.name})"
+        elif self.table is not None and self.probe_cols:
+            keys = ", ".join(
+                f"col{c}={self.atom.arg_str(c)}" for c in self.probe_cols
+            )
+            access = f"probe {self.name}[{keys}]"
+        else:
+            kind = "scan" if self.table is not None else "scan-events"
+            access = f"{kind} {self.name}"
+        if self.source == _SRC_POST_DELTA:
+            access += " \\ delta"
+        binds = sorted(
+            a.name
+            for a in self.atom.args
+            if isinstance(a, Var) and not a.is_wildcard
+        )
+        suffix = f" -> bind {', '.join(binds)}" if binds else ""
+        if self.needs_dedup:
+            suffix += " [dedup]"
+        return access + suffix
+
+
+class _NegStep:
+    """A ``notin`` check: keep environments with no matching row."""
+
+    __slots__ = ("atom", "name", "table", "probe_cols", "probe_fns", "match")
+
+    def __init__(
+        self,
+        atom: Atom,
+        table: Optional[Table],
+        probe_cols: tuple[int, ...],
+        probe_fns: tuple[ExprFn, ...],
+        match: MatchFn,
+    ):
+        self.atom = atom
+        self.name = atom.name
+        self.table = table
+        self.probe_cols = probe_cols
+        self.probe_fns = probe_fns
+        self.match = match
+
+    def run(
+        self,
+        ev: Any,
+        envs: list[Env],
+        delta_rows: list[Row],
+        exclude: Optional[dict[str, set[Row]]],
+    ) -> list[Env]:
+        match = self.match
+        kept: list[Env] = []
+        if self.table is not None and self.probe_cols:
+            table = self.table
+            cols = self.probe_cols
+            fns = self.probe_fns
+            for env in envs:
+                values = tuple(fn(env) for fn in fns)
+                if not any(
+                    match(row, env) is not None
+                    for row in table.rows_matching_cols(cols, values)
+                ):
+                    kept.append(env)
+            return kept
+        if self.table is not None:
+            rows: Iterable[Row] = self.table.rows_list()
+        else:
+            rows = ev._event_pool.get(self.name, ())
+        for env in envs:
+            if not any(match(row, env) is not None for row in rows):
+                kept.append(env)
+        return kept
+
+    def describe(self) -> str:
+        if self.table is not None and self.probe_cols:
+            keys = ", ".join(
+                f"col{c}={self.atom.arg_str(c)}" for c in self.probe_cols
+            )
+            return f"antijoin probe {self.name}[{keys}]"
+        return f"antijoin scan {self.name}"
+
+
+class _AssignStep:
+    """``Var := expr`` — binds when unbound (statically known), otherwise
+    filters on equality."""
+
+    __slots__ = ("name", "fn", "already_bound")
+
+    def __init__(self, name: str, fn: ExprFn, already_bound: bool):
+        self.name = name
+        self.fn = fn
+        self.already_bound = already_bound
+
+    def run(
+        self,
+        ev: Any,
+        envs: list[Env],
+        delta_rows: list[Row],
+        exclude: Optional[dict[str, set[Row]]],
+    ) -> list[Env]:
+        fn = self.fn
+        name = self.name
+        if self.already_bound:
+            return [env for env in envs if env[name] == fn(env)]
+        out: list[Env] = []
+        for env in envs:
+            value = fn(env)
+            extended = dict(env)
+            extended[name] = value
+            out.append(extended)
+        return out
+
+    def describe(self) -> str:
+        verb = "check" if self.already_bound else "assign"
+        return f"{verb} {self.name}"
+
+
+class _CondStep:
+    """A boolean condition filter."""
+
+    __slots__ = ("fn", "text")
+
+    def __init__(self, fn: ExprFn, text: str):
+        self.fn = fn
+        self.text = text
+
+    def run(
+        self,
+        ev: Any,
+        envs: list[Env],
+        delta_rows: list[Row],
+        exclude: Optional[dict[str, set[Row]]],
+    ) -> list[Env]:
+        fn = self.fn
+        return [env for env in envs if fn(env)]
+
+    def describe(self) -> str:
+        return f"filter {self.text}"
+
+
+# ---------------------------------------------------------------------------
+# Join plans
+# ---------------------------------------------------------------------------
+
+
+class JoinPlan:
+    """The compiled body of one rule for one semi-naive delta position
+    (``delta_pos=None`` is the full-evaluation plan), plus the compiled
+    head projection for non-aggregate rules."""
+
+    __slots__ = ("rule", "delta_pos", "steps", "head_name", "head_fns")
+
+    def __init__(
+        self,
+        rule: Rule,
+        delta_pos: Optional[int],
+        steps: tuple,
+        head_fns: Optional[tuple[ExprFn, ...]],
+    ):
+        self.rule = rule
+        self.delta_pos = delta_pos
+        self.steps = steps
+        self.head_name = rule.head.name
+        self.head_fns = head_fns
+
+    def body_envs(
+        self,
+        ev: Any,
+        delta_rows: list[Row],
+        exclude: Optional[dict[str, set[Row]]],
+    ) -> list[Env]:
+        envs: list[Env] = [{}]
+        for step in self.steps:
+            if not envs:
+                return envs
+            envs = step.run(ev, envs, delta_rows, exclude)
+        return envs
+
+    def execute(
+        self,
+        ev: Any,
+        delta_rows: list[Row] = (),
+        exclude: Optional[dict[str, set[Row]]] = None,
+    ) -> list[tuple[str, Row]]:
+        """Derive head tuples.  Environments reaching the head are
+        pairwise distinct (see module docstring), so no re-dedup."""
+        envs = self.body_envs(ev, delta_rows, exclude)
+        if not envs:
+            return []
+        name = self.head_name
+        fns = self.head_fns
+        return [
+            (name, tuple(fn(env) for fn in fns)) for env in envs
+        ]
+
+    def explain(self) -> str:
+        """Human-readable plan: one line per step, in execution order."""
+        tag = "full" if self.delta_pos is None else f"delta@{self.delta_pos}"
+        lines = [f"[{tag}]"]
+        lines += [f"  {i}. {s.describe()}" for i, s in enumerate(self.steps)]
+        return "\n".join(lines)
+
+
+class AggregatePlan:
+    """An aggregate rule: compiled body plan plus grouping/fold spec."""
+
+    __slots__ = ("rule", "body", "head_name", "group_fns", "agg_specs", "arity")
+
+    def __init__(self, rule: Rule, body: JoinPlan, functions: FunctionLibrary):
+        self.rule = rule
+        self.body = body
+        head = rule.head
+        self.head_name = head.name
+        self.arity = len(head.args)
+        self.group_fns = tuple(
+            (i, compile_expr(a, functions))
+            for i, a in enumerate(head.args)
+            if not isinstance(a, AggSpec)
+        )
+        self.agg_specs = tuple(
+            (
+                i,
+                a.func,
+                None if a.var.is_wildcard else compile_expr(a.var, functions),
+            )
+            for i, a in enumerate(head.args)
+            if isinstance(a, AggSpec)
+        )
+
+    def execute(self, ev: Any) -> list[tuple[str, Row]]:
+        envs = self.body.body_envs(ev, (), None)
+        group_fns = self.group_fns
+        agg_specs = self.agg_specs
+        # Bag aggregation over distinct bindings (SQL semantics) — the
+        # body plan already guarantees distinct environments.
+        groups: dict[Row, list[Row]] = {}
+        for env in envs:
+            key = tuple(fn(env) for _, fn in group_fns)
+            values = tuple(
+                None if fn is None else fn(env) for _, _, fn in agg_specs
+            )
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = [values]
+            else:
+                bucket.append(values)
+        out: list[tuple[str, Row]] = []
+        for key, value_rows in groups.items():
+            row: list[Any] = [None] * self.arity
+            for slot, (i, _fn) in enumerate(group_fns):
+                row[i] = key[slot]
+            for slot, (i, func, fn) in enumerate(agg_specs):
+                if fn is None:
+                    row[i] = len(value_rows)  # count<*>: one per binding
+                else:
+                    row[i] = aggregate(func, [vr[slot] for vr in value_rows])
+            out.append((self.head_name, tuple(row)))
+        return out
+
+    def explain(self) -> str:
+        aggs = ", ".join(f"{func}@{i}" for i, func, _ in self.agg_specs)
+        return self.body.explain() + f"\n  => aggregate [{aggs}]"
+
+
+# ---------------------------------------------------------------------------
+# Aggregate folds (shared with the interpreted reference path)
+# ---------------------------------------------------------------------------
+
+
+def _sort_key(value: Any) -> tuple:
+    return (type(value).__name__, repr(value))
+
+
+def aggregate(func: str, values: list[Any]) -> Any:
+    if func == "count":
+        return len(values)
+    if func == "sum":
+        return sum(values)
+    if func == "min":
+        return min(values)
+    if func == "max":
+        return max(values)
+    if func == "avg":
+        return sum(values) / len(values)
+    if func == "list":
+        # A deterministic sorted tuple; mixed types fall back to a
+        # type-name/repr ordering so the result is still reproducible.
+        try:
+            return tuple(sorted(values))
+        except TypeError:
+            return tuple(sorted(values, key=_sort_key))
+    raise EvaluationError(f"unknown aggregate {func}")
+
+
+# ---------------------------------------------------------------------------
+# Compilation driver
+# ---------------------------------------------------------------------------
+
+
+def _compile_body(
+    rule: Rule,
+    delta_pos: Optional[int],
+    catalog: Catalog,
+    functions: FunctionLibrary,
+) -> tuple:
+    steps: list = []
+    bound: set[str] = set()
+    pos = 0
+    for elem in rule.body:
+        if isinstance(elem, Atom):
+            frozen = frozenset(bound)
+            materialized = catalog.is_materialized(elem.name)
+            table = catalog.tables.get(elem.name)
+            if delta_pos is not None and pos == delta_pos:
+                source = _SRC_DELTA
+            elif delta_pos is not None and pos > delta_pos:
+                source = _SRC_POST_DELTA
+            else:
+                source = _SRC_NORMAL
+            if materialized and source != _SRC_DELTA:
+                probe_cols, probe_fns = _probe_spec(elem, frozen, functions)
+            else:
+                probe_cols, probe_fns = (), ()
+            match = _compile_matcher(elem, frozen, probe_cols, functions)
+            needs_dedup = any(
+                isinstance(a, Var) and a.is_wildcard for a in elem.args
+            )
+            steps.append(
+                _AtomStep(
+                    elem, source, table, probe_cols, probe_fns, match,
+                    needs_dedup,
+                )
+            )
+            for arg in elem.args:
+                if isinstance(arg, Var) and not arg.is_wildcard:
+                    bound.add(arg.name)
+            pos += 1
+        elif isinstance(elem, NotIn):
+            frozen = frozenset(bound)
+            atom = elem.atom
+            table = catalog.tables.get(atom.name)
+            if table is not None:
+                probe_cols, probe_fns = _probe_spec(atom, frozen, functions)
+            else:
+                probe_cols, probe_fns = (), ()
+            match = _compile_matcher(atom, frozen, probe_cols, functions)
+            steps.append(_NegStep(atom, table, probe_cols, probe_fns, match))
+        elif isinstance(elem, Assign):
+            steps.append(
+                _AssignStep(
+                    elem.var.name,
+                    compile_expr(elem.expr, functions),
+                    elem.var.name in bound,
+                )
+            )
+            bound.add(elem.var.name)
+        elif isinstance(elem, Cond):
+            steps.append(_CondStep(compile_expr(elem.expr, functions), str(elem)))
+        else:  # pragma: no cover - parser prevents this
+            raise EvaluationError(f"unknown body element {elem!r}")
+    return tuple(steps)
+
+
+def compile_rule(
+    rule: Rule,
+    delta_pos: Optional[int],
+    catalog: Catalog,
+    functions: FunctionLibrary,
+) -> JoinPlan:
+    """Compile one rule body for one delta position into a JoinPlan."""
+    steps = _compile_body(rule, delta_pos, catalog, functions)
+    if rule.is_aggregate:
+        head_fns = None  # projection handled by AggregatePlan
+    else:
+        head_fns = tuple(
+            compile_expr(a, functions) for a in rule.head.args
+        )
+    return JoinPlan(rule, delta_pos, steps, head_fns)
+
+
+class RulePlans:
+    """Every compiled plan for one rule: the full-evaluation plan, one
+    delta plan per positive body atom, and the aggregate wrapper when the
+    head aggregates."""
+
+    __slots__ = ("rule", "full", "by_pos", "agg")
+
+    def __init__(self, rule: Rule, catalog: Catalog, functions: FunctionLibrary):
+        self.rule = rule
+        self.full = compile_rule(rule, None, catalog, functions)
+        if rule.is_aggregate:
+            # Aggregates are evaluated once per stratum over the full
+            # body (they read only lower strata), never delta-joined.
+            self.by_pos: tuple[JoinPlan, ...] = ()
+            self.agg: Optional[AggregatePlan] = AggregatePlan(
+                rule, self.full, functions
+            )
+        else:
+            self.by_pos = tuple(
+                compile_rule(rule, pos, catalog, functions)
+                for pos in range(len(rule.positives))
+            )
+            self.agg = None
+
+    def explain(self) -> str:
+        lines = [str(self.rule)]
+        if self.agg is not None:
+            lines.append(self.agg.explain())
+        else:
+            lines.append(self.full.explain())
+            lines += [p.explain() for p in self.by_pos]
+        return "\n".join(lines)
+
+
+class PlanCache:
+    """All compiled plans for an installed rule set.
+
+    Compiled eagerly at program-install time; ``invalidate`` drops every
+    plan (rule addition / program swap), after which the evaluator
+    recompiles.  ``compile_count`` counts whole-program compilations so
+    tests can assert plans are reused, not rebuilt, across timesteps.
+    """
+
+    def __init__(self, catalog: Catalog, functions: FunctionLibrary):
+        self.catalog = catalog
+        self.functions = functions
+        self._by_rule: dict[int, RulePlans] = {}
+        self._rules: tuple[Rule, ...] = ()
+        self.compile_count = 0
+
+    def compile_program(self, rules: tuple[Rule, ...]) -> None:
+        """Compile every rule × delta-position up front."""
+        self._rules = rules  # keeps ids stable while plans are cached
+        self._by_rule = {
+            id(rule): RulePlans(rule, self.catalog, self.functions)
+            for rule in rules
+        }
+        self.compile_count += 1
+
+    def invalidate(self) -> None:
+        self._by_rule = {}
+        self._rules = ()
+
+    @property
+    def plans(self) -> list[RulePlans]:
+        return list(self._by_rule.values())
+
+    def plans_for(self, rule: Rule) -> RulePlans:
+        rp = self._by_rule.get(id(rule))
+        if rp is None:
+            # A rule installed outside compile_program (defensive; the
+            # evaluator recompiles on any rule-set change).
+            rp = RulePlans(rule, self.catalog, self.functions)
+            self._by_rule[id(rule)] = rp
+            self._rules = self._rules + (rule,)
+        return rp
+
+    def explain(self, rule_name: Optional[str] = None) -> str:
+        """Render the cached plans (optionally for one rule) as text."""
+        parts = [
+            rp.explain()
+            for rp in self._by_rule.values()
+            if rule_name is None or rp.rule.name == rule_name
+        ]
+        return "\n\n".join(parts)

@@ -59,6 +59,7 @@ class OverlogRuntime:
         seed: int = 0,
         extra_functions: Optional[dict[str, Callable[..., Any]]] = None,
         naive: bool = False,
+        compile_plans: bool = True,
         metrics: "NodeMetrics | bool | None" = None,
     ):
         if isinstance(program, str):
@@ -80,7 +81,12 @@ class OverlogRuntime:
         self.catalog = Catalog()
         self.catalog.load(program)
         self.evaluator = Evaluator(
-            program.rules, self.catalog, self.functions, address, naive=naive
+            program.rules,
+            self.catalog,
+            self.functions,
+            address,
+            naive=naive,
+            compile_plans=compile_plans,
         )
         # Always-on runtime metrics (pass metrics=False to measure their
         # cost, as benchmark E8 does).  A NodeMetrics instance may also be
@@ -124,6 +130,25 @@ class OverlogRuntime:
     @property
     def rules(self) -> tuple[Rule, ...]:
         return self.program.rules
+
+    def add_rule(self, rule: Rule | str) -> None:
+        """Install additional rule(s) into the running program.
+
+        Accepts a :class:`Rule` or Overlog rule source text.  Any new
+        relations must already be declared.  The evaluator's plan cache is
+        invalidated and the affected relations are re-evaluated on the
+        next timestep.
+        """
+        if isinstance(rule, str):
+            new_rules = parse(f"program _added;\n{rule}").rules
+        else:
+            new_rules = (rule,)
+        self.program = self.program.with_rules(self.program.rules + new_rules)
+        self.evaluator.set_rules(self.program.rules)
+
+    def explain(self, rule_name: Optional[str] = None) -> str:
+        """Render the evaluator's compiled join plans (docs/EVALUATOR.md)."""
+        return self.evaluator.explain(rule_name)
 
     # -- external interface ---------------------------------------------------
 

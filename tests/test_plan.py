@@ -1,0 +1,218 @@
+"""Unit tests for the compiled-plan layer (:mod:`repro.overlog.plan`).
+
+The differential harness (test_plan_equivalence.py) proves the compiled
+evaluator *behaves* like the reference; these tests pin down the plans
+themselves: which index a join step probes, that composite indexes are
+built once and then maintained, that the plan cache is invalidated on
+rule installation, and that wildcard-join dedup survives compilation.
+"""
+
+import pytest
+
+from repro.overlog import OverlogRuntime
+from repro.overlog.plan import _SRC_DELTA, _SRC_NORMAL, _SRC_POST_DELTA
+
+JOIN_PROGRAM = """
+program plans;
+define(a, keys(0, 1), {Int, Int});
+define(b, keys(0, 1, 2), {Int, Int, Int});
+define(out, keys(0, 1), {Int, Int});
+r1 out(X, Z) :- a(X, Y), b(Y, Z, X);
+r2 out(X, X) :- b(3, X, _);
+"""
+
+
+def rule_named(rt: OverlogRuntime, name: str):
+    (rule,) = [r for r in rt.rules if r.name == name]
+    return rule
+
+
+def plans_for(rt: OverlogRuntime, name: str):
+    return rt.evaluator.planner.plans_for(rule_named(rt, name))
+
+
+# -- index / probe selection -------------------------------------------------
+
+
+def test_most_bound_probe_uses_all_bound_columns():
+    rt = OverlogRuntime(JOIN_PROGRAM)
+    full = plans_for(rt, "r1").full
+    # a(X, Y) opens the join: nothing is bound yet, so it must scan.
+    assert full.steps[0].probe_cols == ()
+    # b(Y, Z, X): Y and X are bound, Z is not -> composite probe on (0, 2),
+    # not the reference evaluator's first-single-column probe.
+    assert full.steps[1].probe_cols == (0, 2)
+    assert "probe b[col0=Y, col2=X]" in full.explain()
+
+
+def test_constant_columns_are_probed():
+    rt = OverlogRuntime(JOIN_PROGRAM)
+    full = plans_for(rt, "r2").full
+    # b(3, X, _): the constant column is probeable even with nothing bound.
+    assert full.steps[0].probe_cols == (0,)
+
+
+def test_delta_plans_shift_sources():
+    rt = OverlogRuntime(JOIN_PROGRAM)
+    plans = plans_for(rt, "r1")
+    d0, d1 = plans.by_pos
+    # delta@0: a is the delta (never probed), b sits after it at full view.
+    assert d0.steps[0].source == _SRC_DELTA
+    assert d0.steps[0].probe_cols == ()
+    # ... b sits after the delta, so it reads the full view minus the
+    # delta (semi-naive exclusion) — still through the composite probe.
+    assert d0.steps[1].source == _SRC_POST_DELTA
+    assert d0.steps[1].probe_cols == (0, 2)
+    # delta@1: a is *before* the delta and reads the plain full view.
+    assert d1.steps[0].source == _SRC_NORMAL
+    assert d1.steps[1].source == _SRC_DELTA
+    assert "[delta@0]" in d0.explain()
+
+
+def test_composite_index_built_once_and_maintained():
+    rt = OverlogRuntime(JOIN_PROGRAM)
+    rt.insert_many("a", [(1, 2), (4, 5)])
+    rt.insert_many("b", [(2, 9, 1), (5, 8, 4), (5, 8, 0)])
+    rt.tick()
+    b = rt.catalog.table("b")
+    # The bootstrap step full-evaluates every rule: r1 builds the (0, 2)
+    # composite, r2 builds the single-column (0,) index.  Exactly once each.
+    assert b.index_builds == 2
+    assert sorted(rt.rows("out")) == [(1, 9), (4, 8)]
+    # Later inserts maintain both indexes in place instead of rebuilding.
+    rt.insert("b", (2, 7, 1))
+    rt.insert("a", (0, 5))
+    rt.tick()
+    assert b.index_builds == 2
+    assert sorted(rt.rows("out")) == [(0, 8), (1, 7), (1, 9), (4, 8)]
+
+
+def test_ensure_index_is_idempotent():
+    rt = OverlogRuntime(JOIN_PROGRAM)
+    b = rt.catalog.table("b")
+    b.insert((1, 2, 3))
+    b.insert((1, 2, 4))
+    first = b.ensure_index((0, 2))
+    assert b.index_builds == 1
+    assert b.ensure_index((0, 2)) is first
+    assert b.index_builds == 1
+    assert b.rows_matching_cols((0, 2), (1, 3)) == [(1, 2, 3)]
+    b.delete((1, 2, 3))
+    assert b.rows_matching_cols((0, 2), (1, 3)) == []
+    assert b.index_builds == 1
+
+
+# -- plan cache lifecycle ----------------------------------------------------
+
+
+def test_plans_are_reused_across_timesteps():
+    rt = OverlogRuntime(JOIN_PROGRAM)
+    planner = rt.evaluator.planner
+    assert planner.compile_count == 1  # compiled eagerly at install
+    rt.insert("a", (1, 2))
+    rt.tick()
+    rt.insert("b", (2, 0, 1))
+    rt.tick()
+    assert planner.compile_count == 1
+
+
+def test_add_rule_invalidates_and_recompiles():
+    rt = OverlogRuntime(JOIN_PROGRAM)
+    planner = rt.evaluator.planner
+    rt.insert_many("a", [(1, 2), (3, 4)])
+    rt.tick()
+    rt.add_rule("r3 out(X, 0) :- a(X, _);")
+    assert planner.compile_count == 2
+    # The new rule must see facts that were already materialized.
+    rt.tick()
+    assert (1, 0) in rt.rows("out") and (3, 0) in rt.rows("out")
+    # ... and participates in normal incremental evaluation afterwards.
+    rt.insert("a", (5, 6))
+    rt.tick()
+    assert (5, 0) in rt.rows("out")
+
+
+def test_program_swap_drops_stale_plans():
+    rt = OverlogRuntime(JOIN_PROGRAM)
+    planner = rt.evaluator.planner
+    old_rule = rule_named(rt, "r1")
+    old_plan = planner.plans_for(old_rule)
+    rt.evaluator.set_rules(rt.rules)  # swap in an equal rule set
+    assert planner.compile_count == 2
+    assert planner.plans_for(rule_named(rt, "r1")) is not old_plan
+
+
+def test_explain_renders_plans():
+    rt = OverlogRuntime(JOIN_PROGRAM)
+    text = rt.explain()
+    assert "[full]" in text and "[delta@0]" in text
+    only_r2 = rt.explain("r2")
+    assert "r2" in only_r2 and "r1" not in only_r2
+    interpreted = OverlogRuntime(JOIN_PROGRAM, compile_plans=False)
+    assert "no compiled plans" in interpreted.explain()
+
+
+# -- semantics that must survive compilation ---------------------------------
+
+
+def test_wildcard_join_dedup_survives_compilation():
+    # t(X, _) projects away the second column; the two t(1, *) rows must
+    # collapse to ONE environment *before* f_newid runs, or the compiled
+    # path would mint extra ids (the reference evaluator fires once per
+    # distinct binding, which nondeterministic builtins rely on).
+    program = """
+    program wild;
+    define(t, keys(0, 1), {Int, Int});
+    define(out, keys(0, 1), {Int, Int});
+    rw out(Id, X) :- t(X, _), Id := f_newid();
+    """
+    rt = OverlogRuntime(program)
+    rt.insert_many("t", [(1, 10), (1, 20), (2, 30)])
+    rt.tick()
+    rows = rt.rows("out")
+    assert len(rows) == 2
+    assert sorted(x for _, x in rows) == [1, 2]
+    ids = [i for i, _ in rows]
+    assert len(set(ids)) == 2
+
+
+@pytest.mark.parametrize("compile_plans", [True, False])
+def test_negation_probe_matches_reference(compile_plans):
+    program = """
+    program neg;
+    define(t, keys(0, 1), {Int, Int});
+    define(block, keys(0, 1), {Int, Int});
+    define(out, keys(0, 1), {Int, Int});
+    rn out(X, Y) :- t(X, Y), notin block(X, Y);
+    """
+    rt = OverlogRuntime(program, compile_plans=compile_plans)
+    rt.insert_many("t", [(1, 2), (3, 4)])
+    rt.insert("block", (3, 4))
+    rt.tick()
+    assert rt.rows("out") == [(1, 2)]
+    if compile_plans:
+        plan = plans_for(rt, "rn").full
+        assert plan.steps[1].probe_cols == (0, 1)
+        assert "antijoin probe block" in plan.explain()
+
+
+def test_post_delta_exclusion_still_applies_with_probe():
+    # Self-join u(X, Y), u(Y, Z): with delta at position 0, position 1
+    # reads the full view MINUS the delta (semi-naive exclusion) and still
+    # goes through the composite probe.  A pair only derivable from two
+    # delta rows must come from the delta@1 plan, not twice.
+    program = """
+    program selfjoin;
+    define(u, keys(0, 1), {Int, Int});
+    define(p, keys(0, 1), {Int, Int});
+    rs p(X, Z) :- u(X, Y), u(Y, Z);
+    """
+    rt = OverlogRuntime(program)
+    rt.insert_many("u", [(1, 2), (2, 3)])
+    rt.tick()
+    assert sorted(rt.rows("p")) == [(1, 3)]
+    fires = dict(rt.evaluator.rule_fires)
+    interp = OverlogRuntime(program, compile_plans=False)
+    interp.insert_many("u", [(1, 2), (2, 3)])
+    interp.tick()
+    assert dict(interp.evaluator.rule_fires) == fires
