@@ -47,8 +47,8 @@ def _workload(rt: OverlogRuntime) -> None:
             rt.tick(now=now)
 
 
-def run_one(program, with_collector=False, metrics=False):
-    rt = OverlogRuntime(program, address="m", metrics=metrics)
+def run_one(program, with_collector=False, metrics=False, **runtime_kwargs):
+    rt = OverlogRuntime(program, address="m", metrics=metrics, **runtime_kwargs)
     rt.install("file", [(0, -1, "", True)])
     rt.install("repfactor", [(2,)])
     rt.install("dn_timeout", [(3000,)])
@@ -81,6 +81,7 @@ def run_experiment():
     return {
         "plain": run_one(base),
         "runtime metrics": run_one(base, metrics=True),
+        "provenance+profiler": run_one(base, provenance=True, profile=True),
         "rule-traced": run_one(add_rule_tracing(base), with_collector=True),
         "with invariants": run_one(
             with_invariants(base, boomfs_invariants_program())
@@ -122,7 +123,8 @@ def build_report(results) -> str:
     return table + (
         "\nTracing twins re-evaluate every rule body, so the derivation\n"
         "count reflects the full tracing cost; the runtime metrics registry\n"
-        "observes the same firings without adding rules or derivations."
+        "and the provenance ledger + plan profiler (docs/PROVENANCE.md)\n"
+        "observe the same firings without adding rules or derivations."
     )
 
 
@@ -139,5 +141,10 @@ def test_e8_monitoring_overhead(benchmark):
     assert results["runtime metrics"]["metric_points"] > 0
     assert (
         results["runtime metrics"]["derivations"]
+        == results["plain"]["derivations"]
+    )
+    # The provenance ledger and sampled profiler are pure observers too.
+    assert (
+        results["provenance+profiler"]["derivations"]
         == results["plain"]["derivations"]
     )

@@ -74,6 +74,8 @@ class BoomFSMaster(OverlogProcess):
         seed: int = 0,
         step_cost_ms: int = 0,
         per_derivation_cost_us: int = 0,
+        provenance: bool = False,
+        profile: bool = False,
     ):
         self.replication = replication
         self.dn_timeout_ms = dn_timeout_ms
@@ -88,6 +90,8 @@ class BoomFSMaster(OverlogProcess):
             step_cost_ms=step_cost_ms,
             per_derivation_cost_us=per_derivation_cost_us,
             extra_functions={"f_idscope": lambda: scope},
+            provenance=provenance,
+            profile=profile,
         )
 
     def bootstrap(self) -> None:
@@ -144,3 +148,27 @@ class BoomFSMaster(OverlogProcess):
             for addr, cid, _ in self.runtime.rows("hb_chunk")
             if cid == chunk_id
         )
+
+    # -- provenance debugging (docs/PROVENANCE.md) ---------------------------
+
+    def why_path(self, path: str, fmt: str = "text"):
+        """Derivation DAG of the ``fqpath`` view entry for ``path`` —
+        *why does this path exist?* — stitched across the cluster when
+        attached (so client-originated ``request`` tuples resolve to
+        their sender).  Requires ``provenance=True``."""
+        fid = self.paths().get(path)
+        if fid is None:
+            return self.why_not_path(path, fmt=fmt)
+        if self.cluster is not None:
+            return self.cluster.provenance.why(
+                self.address, "fqpath", (path, fid), fmt=fmt
+            )
+        return self.runtime.why("fqpath", (path, fid), fmt=fmt)
+
+    def why_not_path(self, path: str, fmt: str = "text"):
+        """Replay the ``fqpath`` rules to explain why ``path`` does not
+        resolve (missing parent, no such file...).  The file id is
+        unknowable from the outside, so it is queried as UNKNOWN."""
+        from ..provenance.why import UNKNOWN
+
+        return self.runtime.why_not("fqpath", (path, UNKNOWN), fmt=fmt)

@@ -8,7 +8,10 @@ Two machine formats, one human format:
 * ``Tracer.to_jsonl()`` (in :mod:`repro.metrics.trace`) — one line per
   trace event;
 * ``render_dashboard(cluster_metrics)`` — the operator's view: per-node
-  step/derivation counts, hottest rules, largest relations.
+  step/derivation counts, hottest rules, largest relations;
+* ``hot_rules_json`` / ``render_hot_rules`` — the plan profiler's
+  hot-rules report (:mod:`repro.provenance.profiler`) as key-sorted JSON
+  and as text.
 """
 
 from __future__ import annotations
@@ -46,6 +49,44 @@ def metrics_jsonl(metrics: ClusterMetrics, now_ms: Optional[int] = None) -> str:
         json.dumps(r, sort_keys=True, separators=(",", ":")) + "\n"
         for r in records
     )
+
+
+def hot_rules_json(report: dict) -> str:
+    """A profiler hot-rules report (``PlanProfiler.hot_rules()``) as
+    key-sorted JSON, for artifact upload."""
+    return json.dumps(report, sort_keys=True, indent=2)
+
+
+def render_hot_rules(report: dict) -> str:
+    """Text rendering of a profiler hot-rules report: rules ranked by
+    estimated time, each broken down per plan and per step.  Step
+    indexes match ``explain()`` output for the same rule."""
+    lines = [
+        "== hot rules (sampled 1/"
+        f"{report['sample_every']} plan executions, scaled estimates) =="
+    ]
+    if not report["rules"]:
+        lines.append("(no plan executions sampled)")
+        return "\n".join(lines)
+    for entry in report["rules"]:
+        lines.append(
+            f"{entry['rule']:<24} est {entry['est_ms']:>9.3f} ms   "
+            f"execs {entry['execs']:>7}  sampled {entry['sampled']}"
+        )
+        for plan in entry["plans"]:
+            if not plan["sampled"]:
+                continue
+            lines.append(
+                f"  [{plan['tag']}] est {plan['est_ms']:.3f} ms over "
+                f"{plan['execs']} execs, {plan['rows_out']} sampled rows out"
+            )
+            for step in plan["steps"]:
+                lines.append(
+                    f"    {step['step']}. {step['describe']:<44} "
+                    f"{step['time_ms']:>8.3f} ms  "
+                    f"envs-out {step['envs_out']}"
+                )
+    return "\n".join(lines)
 
 
 def _top(items: dict, n: int = 5) -> list[tuple[str, int]]:

@@ -245,6 +245,45 @@ class Tracer:
                     span.events.append(event)
         return root
 
+    def span_node(self, ref: SpanRef) -> Optional[str]:
+        """The node a span ran on (from its begin/recv event), or None
+        for an unknown span."""
+        for event in self.events:
+            if (
+                event["kind"] in ("begin", "recv")
+                and event["trace"] == ref.trace_id
+                and event["span"] == ref.span_id
+            ):
+                return event["node"]
+        return None
+
+    def span_parent(self, ref: SpanRef) -> Optional[SpanRef]:
+        """The parent span of ``ref`` (the hop that caused it), or None
+        for a trace root / unknown span."""
+        for event in self.events:
+            if (
+                event["trace"] == ref.trace_id
+                and event["span"] == ref.span_id
+            ):
+                if event["kind"] == "recv":
+                    parent = event["parent"]
+                    if parent is not None:
+                        return SpanRef(ref.trace_id, parent)
+                    return None
+                if event["kind"] == "begin":
+                    return None
+        return None
+
+    def origin_node(self, ref: SpanRef) -> Optional[str]:
+        """The node that *caused* span ``ref`` — its parent span's node,
+        falling back to the span's own node for trace roots.  The
+        provenance layer uses this to name the sender of an inbox tuple
+        when the sender keeps no derivation ledger (imperative clients)."""
+        parent = self.span_parent(ref)
+        if parent is not None:
+            return self.span_node(parent)
+        return self.span_node(ref)
+
     def nodes_crossed(self, trace_id: str) -> set[str]:
         root = self.span_tree(trace_id)
         if root is None:

@@ -39,7 +39,7 @@ from .ast import (
 from .catalog import Catalog, Row
 from .errors import CatalogError, EvaluationError
 from .functions import FunctionLibrary
-from .plan import PlanCache, aggregate as _aggregate
+from .plan import PlanCache, aggregate as _aggregate, compile_expr
 from .strata import compute_strata, rules_by_stratum
 
 # A fixpoint that runs longer than this many semi-naive iterations within a
@@ -198,6 +198,22 @@ class Evaluator:
         self.planner: Optional[PlanCache] = (
             PlanCache(catalog, functions) if compile_plans and not naive else None
         )
+        # Optional observability hooks (attach_ledger / attach_profiler):
+        # a provenance DerivationLedger recording every head derivation,
+        # and a sampled per-plan profiler.  Both None (off) by default —
+        # the hot path pays only a None check.
+        self._ledger = None
+        self._profiler = None
+        self._cur_stratum = 0
+        self._cur_pass = 0
+        # (rel, row) -> rule name, for tombstoning provenance entries
+        # with the deleting rule when deletions are applied.
+        self._delete_rules: dict[tuple[str, Row], str] = {}
+        self._deferred_delete_rules: dict[tuple[str, Row], str] = {}
+        # Per-rule witness-reconstruction recipes (provenance): how to
+        # rebuild each positive body atom's matched row from a final body
+        # environment.  Keyed by id(rule); cleared on program swap.
+        self._body_recipes: dict[int, tuple] = {}
         self._install_rules(rules)
         # Mutable per-step state.
         self._event_pool: dict[str, set[Row]] = {}
@@ -242,6 +258,7 @@ class Evaluator:
         self.strata = strata
         self.stratum_buckets = rules_by_stratum(rules, strata)
         self.rules = rules
+        self._body_recipes.clear()
         if self.planner is not None:
             self.planner.invalidate()
             self.planner.compile_program(rules)
@@ -263,10 +280,30 @@ class Evaluator:
                 self._full_dirty_pending.add(atom.name)
 
     def explain(self, rule_name: Optional[str] = None) -> str:
-        """Render the compiled join plans as text (see docs/EVALUATOR.md)."""
+        """Render the compiled join plans as text (see docs/EVALUATOR.md),
+        annotated with each rule's cumulative fire count so the output
+        cross-references the profiler's hot-rules report by rule id."""
         if self.planner is None:
             return "(no compiled plans: interpreted evaluator)"
-        return self.planner.explain(rule_name)
+        return self.planner.explain(rule_name, rule_fires=self.rule_fires)
+
+    # -- observability hooks -------------------------------------------------
+
+    def attach_ledger(self, ledger) -> None:
+        """Attach a provenance :class:`DerivationLedger`.  Requires the
+        compiled evaluator — lineage is tracked by the plan steps."""
+        if self.planner is None:
+            raise EvaluationError(
+                "provenance requires the compiled evaluator "
+                "(compile_plans=True and naive=False)"
+            )
+        ledger.resolver = self._witness_body
+        self._ledger = ledger
+
+    def attach_profiler(self, profiler) -> None:
+        """Attach a sampled :class:`PlanProfiler` (no-op for the
+        interpreted evaluator, which has no plans to time)."""
+        self._profiler = profiler
 
     # -- validation ---------------------------------------------------------
 
@@ -335,6 +372,9 @@ class Evaluator:
         self._pending_deletes = set()
         self._seen_deferred = set()
         self._accumulated = {}
+        self._delete_rules = {}
+        deferred_reasons = self._deferred_delete_rules
+        self._deferred_delete_rules = {}
 
         self._full_dirty = self._full_dirty_pending
         self._full_dirty_pending = set()
@@ -344,6 +384,13 @@ class Evaluator:
                 self._result.deletions.append((rel, tuple(row)))
                 self._full_dirty.add(rel)
                 self._active.add(rel)
+                if self._ledger is not None:
+                    by = deferred_reasons.get((rel, tuple(row)))
+                    self._ledger.retract(
+                        rel,
+                        tuple(row),
+                        f"delete@next by {by}" if by else "deleted",
+                    )
         for rel, row in inbox:
             if not self.catalog.is_declared(rel):
                 raise CatalogError(f"inbox tuple for undeclared relation {rel!r}")
@@ -359,6 +406,11 @@ class Evaluator:
             if self.catalog.table(rel).delete(row):
                 self._result.deletions.append((rel, row))
                 self._full_dirty_pending.add(rel)
+                if self._ledger is not None:
+                    by = self._delete_rules.get((rel, row))
+                    self._ledger.retract(
+                        rel, row, f"delete by {by}" if by else "deleted"
+                    )
 
         self._event_pool = {}
         return self._result
@@ -402,6 +454,12 @@ class Evaluator:
                     # only a full re-evaluation can find those bindings.
                     self._full_dirty.add(rel)
                     self._full_dirty_pending.add(rel)
+                    if self._ledger is not None:
+                        self._ledger.retract(
+                            rel,
+                            res.displaced,
+                            "displaced by primary-key update",
+                        )
             return res.inserted
         pool = self._event_pool.setdefault(rel, set())
         if row in pool:
@@ -441,14 +499,19 @@ class Evaluator:
             self._run_stratum_naive(index, normal_rules, agg_rules)
             return
 
-        staged: list[tuple[Rule, str, Row]] = []
+        self._cur_stratum = index
+        self._cur_pass = 0
+        # Staged items are (rule, derivation) where derivation is
+        # (rel, row) — or (rel, row, body_tuples) under the provenance
+        # ledger's tracked execution.
+        staged: list[tuple[Rule, tuple]] = []
         # Aggregates read only lower strata (guaranteed by stratification),
         # so one evaluation suffices; their outputs seed the delta.
         for rule in agg_rules:
             if not self._rule_is_active(rule):
                 continue
-            for rel, row in self._derive_aggregate(rule):
-                staged.append((rule, rel, row))
+            for item in self._derive_aggregate(rule):
+                staged.append((rule, item))
 
         # Iteration 0: rules touching a non-monotonically changed relation
         # are fully re-evaluated; everything else is delta-joined against
@@ -462,17 +525,17 @@ class Evaluator:
         acc_lists = {rel: list(rows) for rel, rows in acc.items()}
         for rule in normal_rules:
             if self._rule_needs_full_eval(rule):
-                for rel, row in self._derive(
+                for item in self._derive(
                     rule, delta_pos=None, delta_rows=()
                 ):
-                    staged.append((rule, rel, row))
+                    staged.append((rule, item))
                 continue
             for pos, atom in enumerate(rule.positives):
                 rows = acc_lists.get(atom.name)
                 if not rows:
                     continue
-                for rel, row in self._derive(rule, pos, rows, exclude=acc):
-                    staged.append((rule, rel, row))
+                for item in self._derive(rule, pos, rows, exclude=acc):
+                    staged.append((rule, item))
 
         delta = self._apply_staged(staged)
         iterations = 0
@@ -482,6 +545,7 @@ class Evaluator:
                 raise EvaluationError(
                     "fixpoint did not converge (primary-key oscillation?)"
                 )
+            self._cur_pass = iterations
             staged = []
             delta_lists = {rel: list(rows) for rel, rows in delta.items()}
             for rule in normal_rules:
@@ -489,10 +553,10 @@ class Evaluator:
                     rows = delta_lists.get(atom.name)
                     if not rows:
                         continue
-                    for rel, row in self._derive(
+                    for item in self._derive(
                         rule, pos, rows, exclude=delta
                     ):
-                        staged.append((rule, rel, row))
+                        staged.append((rule, item))
             delta = self._apply_staged(staged)
         self._record_iterations(index, iterations + 1)
 
@@ -504,20 +568,53 @@ class Evaluator:
         delta_pos: Optional[int],
         delta_rows: list[Row],
         exclude: Optional[dict[str, set[Row]]] = None,
-    ) -> list[tuple[str, Row]]:
+    ) -> list[tuple]:
         """Derive a non-aggregate rule's head tuples through the compiled
-        plan when available, otherwise the AST-walking reference path."""
+        plan when available, otherwise the AST-walking reference path.
+
+        Items are ``(rel, row)``, or ``(rel, row, body_tuples)`` when the
+        provenance ledger is attached (tracked execution).
+        """
         planner = self.planner
         if planner is not None:
             plans = planner.plans_for(rule)
             plan = plans.full if delta_pos is None else plans.by_pos[delta_pos]
+            tracked = self._ledger is not None
+            prof = self._profiler
+            if prof is not None:
+                # Sampling decision inlined: one stat load, an increment
+                # and a modulo on the un-sampled hot path.
+                stat = plan._prof
+                if stat is None:
+                    stat = prof.link(plan)
+                n = stat.execs
+                stat.execs = n + 1
+                if n % prof.sample_every == 0:
+                    return prof.run_plan(
+                        plan, self, delta_rows, exclude, tracked
+                    )
+            if tracked:
+                return plan.execute_tracked(self, delta_rows, exclude)
             return plan.execute(self, delta_rows, exclude)
         return self._eval_rule(rule, delta_pos, delta_rows, exclude)
 
-    def _derive_aggregate(self, rule: Rule) -> list[tuple[str, Row]]:
+    def _derive_aggregate(self, rule: Rule) -> list[tuple]:
         planner = self.planner
         if planner is not None:
-            return planner.plans_for(rule).agg.execute(self)
+            plan = planner.plans_for(rule).agg
+            tracked = self._ledger is not None
+            prof = self._profiler
+            if prof is not None:
+                stat = plan._prof
+                if stat is None:
+                    stat = prof.link(plan)
+                n = stat.execs
+                stat.execs = n + 1
+                if n % prof.sample_every == 0:
+                    return prof.run_agg_plan(plan, self, tracked)
+            if tracked:
+                return plan.execute_tracked(self)
+            return plan.execute(self)
         return self._eval_aggregate_rule(rule)
 
     def _run_stratum_naive(
@@ -530,16 +627,16 @@ class Evaluator:
             iterations += 1
             if iterations > MAX_FIXPOINT_ITERATIONS:
                 raise EvaluationError("naive fixpoint did not converge")
-            staged: list[tuple[Rule, str, Row]] = []
+            staged: list[tuple[Rule, tuple]] = []
             for rule in agg_rules:
                 staged.extend(
-                    (rule, rel, row)
-                    for rel, row in self._eval_aggregate_rule(rule)
+                    (rule, item)
+                    for item in self._eval_aggregate_rule(rule)
                 )
             for rule in normal_rules:
                 staged.extend(
-                    (rule, rel, row)
-                    for rel, row in self._eval_rule(
+                    (rule, item)
+                    for item in self._eval_rule(
                         rule, delta_pos=None, delta_rows=()
                     )
                 )
@@ -548,32 +645,64 @@ class Evaluator:
                 return
 
     def _apply_staged(
-        self, staged: list[tuple[Rule, str, Row]]
+        self, staged: list[tuple[Rule, tuple]]
     ) -> dict[str, set[Row]]:
         """Dispatch buffered head tuples; returns the genuinely-new local
         insertions, which become the next semi-naive delta."""
         delta: dict[str, set[Row]] = defaultdict(set)
         fires = self.rule_fires
-        for rule, rel, row in staged:
+        if self._ledger is not None:
+            # Tracked items are always (rel, row, witness-env) triples.
+            for rule, (rel, row, witness) in staged:
+                fires[rule.name] = fires.get(rule.name, 0) + 1
+                if self._dispatch_head(rule, rel, row, witness):
+                    delta[rel].add(row)
+            return delta
+        for rule, item in staged:
+            rel = item[0]
+            row = item[1]
             fires[rule.name] = fires.get(rule.name, 0) + 1
             if self._dispatch_head(rule, rel, row):
                 delta[rel].add(row)
         return delta
 
-    def _dispatch_head(self, rule: Rule, rel: str, row: Row) -> bool:
+    def _dispatch_head(
+        self, rule: Rule, rel: str, row: Row, witness: Any = None
+    ) -> bool:
         """Route a derived head tuple; returns True when it extends the
-        local database (and hence must join the semi-naive delta)."""
+        local database (and hence must join the semi-naive delta).
+
+        With the ledger attached, this is also where derivations are
+        recorded: ``next`` for @next deferrals (at deferral time, so the
+        deriving rule is known when the tuple re-enters next step),
+        ``send`` for remote shipments, ``rule`` for genuinely-new local
+        insertions.  ``witness`` is the final body environment the tuple
+        was projected from (a tuple of them for aggregates); the body
+        tuples are reconstructed from it only when an entry is actually
+        recorded, so tracking costs nothing per joined row.
+        """
+        ledger = self._ledger
         if rule.deferred:
             key = (rule.delete, rel, row)
             if key not in self._seen_deferred:
                 self._seen_deferred.add(key)
                 if rule.delete:
                     self._result.deferred_deletes.append((rel, row))
+                    if ledger is not None:
+                        self._deferred_delete_rules[(rel, row)] = rule.name
                 else:
                     self._result.deferred_inserts.append((rel, row))
+                    if ledger is not None:
+                        ledger.record(
+                            "next", rule.name, self._cur_stratum,
+                            self._cur_pass, rel, row, witness,
+                            witness_rule=rule,
+                        )
             return False
         if rule.delete:
             self._pending_deletes.add((rel, row))
+            if ledger is not None:
+                self._delete_rules[(rel, row)] = rule.name
             return False
         head = rule.head
         if head.loc is not None:
@@ -583,8 +712,129 @@ class Evaluator:
                 if key not in self._seen_sends:
                     self._seen_sends.add(key)
                     self._result.sends.append((dest, rel, row))
+                    if ledger is not None:
+                        ledger.record(
+                            "send", rule.name, self._cur_stratum,
+                            self._cur_pass, rel, row, witness,
+                            dest=dest, witness_rule=rule,
+                        )
                 return False
-        return self._insert_local(rel, row)
+        inserted = self._insert_local(rel, row)
+        if inserted and ledger is not None:
+            ledger.record(
+                "rule", rule.name, self._cur_stratum, self._cur_pass,
+                rel, row, witness, None, rule,
+            )
+        return inserted
+
+    # -- witness reconstruction (provenance) ---------------------------------
+
+    # An aggregate over thousands of bindings would otherwise record a
+    # body entry per contributing tuple; cap the recorded witnesses.
+    MAX_AGG_WITNESSES = 64
+
+    def _witness_body(self, rule: Rule, witness: Any) -> tuple:
+        """Body tuples ``((rel, row), ...)`` for a recorded derivation,
+        rebuilt from the final body environment(s) it was projected from.
+
+        Non-wildcard variable and constant columns are exact — they are
+        the very values the join matched.  Wildcard and expression
+        columns are re-resolved by probing the relation on the exact
+        columns; when several rows agree on those, the first probe hit is
+        recorded (a documented why-provenance restriction, see
+        docs/PROVENANCE.md).
+        """
+        if witness is None:
+            return ()
+        if rule.is_aggregate:
+            seen: set = set()
+            out: list = []
+            for env in witness[: self.MAX_AGG_WITNESSES]:
+                for item in self._body_from_env(rule, env):
+                    if item not in seen:
+                        seen.add(item)
+                        out.append(item)
+            return tuple(out)
+        return self._body_from_env(rule, witness)
+
+    def _body_from_env(self, rule: Rule, env: Env) -> tuple:
+        recipe = self._body_recipes.get(id(rule))
+        if recipe is None:
+            recipe = self._compile_body_recipe(rule)
+            self._body_recipes[id(rule)] = recipe
+        out = []
+        for name, fns, probe in recipe:
+            if probe is None:
+                out.append((name, tuple(fn(env) for fn in fns)))
+                continue
+            arity, cols = probe
+            vals = tuple(fn(env) for fn in fns)
+            found = self._probe_witness_row(name, cols, vals, arity)
+            if found is None:
+                row: list = [None] * arity
+                for col, value in zip(cols, vals):
+                    row[col] = value
+                found = tuple(row)
+            out.append((name, found))
+        return tuple(out)
+
+    def _compile_body_recipe(self, rule: Rule) -> tuple:
+        """How to rebuild each positive body atom's matched row from a
+        final body environment.  Per atom: ``(name, column_fns, probe)``
+        — ``probe`` is None when every column is a bound variable or a
+        constant (the fns produce the full row), else ``(arity,
+        exact_cols)`` with fns for the exact columns only; the wildcard/
+        expression columns are re-resolved by probing the relation."""
+        recipe = []
+        functions = self.functions
+
+        def exact(arg: Any) -> bool:
+            return isinstance(arg, Const) or (
+                isinstance(arg, Var) and not arg.is_wildcard
+            )
+
+        for atom in rule.positives:
+            if all(exact(a) for a in atom.args):
+                fns = tuple(compile_expr(a, functions) for a in atom.args)
+                recipe.append((atom.name, fns, None))
+            else:
+                cols = tuple(
+                    i for i, a in enumerate(atom.args) if exact(a)
+                )
+                fns = tuple(
+                    compile_expr(atom.args[i], functions) for i in cols
+                )
+                recipe.append((atom.name, fns, (len(atom.args), cols)))
+        return tuple(recipe)
+
+    def _probe_witness_row(
+        self, name: str, cols: tuple[int, ...], vals: tuple, arity: int
+    ) -> Optional[Row]:
+        """First stored row of ``name`` agreeing with the bound columns
+        (used for wildcard/expression columns the env cannot name).
+
+        Falls back to the ledger's own records when the tables miss:
+        resolution is lazy, so by the time a witness is read an event
+        tuple has vanished with its timestep (and a materialized row may
+        have been deleted) — but its own provenance entry still names it.
+        """
+        if self.catalog.is_materialized(name):
+            table = self.catalog.table(name)
+            if cols:
+                for row in table.rows_matching_cols(cols, vals):
+                    return row
+            else:
+                for row in table.rows_list():
+                    return row
+        else:
+            for row in self._event_pool.get(name, ()):
+                if len(row) == arity and all(
+                    row[c] == v for c, v in zip(cols, vals)
+                ):
+                    return row
+        if self._ledger is not None:
+            return self._ledger.find_row(name, cols, vals, arity)
+        return None
 
     # -- single-rule evaluation ---------------------------------------------
 

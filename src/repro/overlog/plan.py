@@ -266,6 +266,16 @@ def _probe_spec(
 # Plan steps
 # ---------------------------------------------------------------------------
 
+# Lineage tracking (provenance ledger support).  When the evaluator runs
+# with a DerivationLedger attached, plans execute through
+# ``execute_tracked``, which returns each head tuple together with the
+# *final body environment* that produced it.  The join steps themselves
+# are untouched (environments are never mutated after a step emits them,
+# so holding references is free); the evaluator reconstructs the witness
+# body tuples from the environment only for derivations it actually
+# records — genuinely-new tuples — instead of paying per joined row.
+
+
 # How an atom step sources its candidate rows relative to the plan's
 # semi-naive delta position.
 _SRC_NORMAL = "full"        # full relation (probe or scan)
@@ -514,7 +524,9 @@ class JoinPlan:
     (``delta_pos=None`` is the full-evaluation plan), plus the compiled
     head projection for non-aggregate rules."""
 
-    __slots__ = ("rule", "delta_pos", "steps", "head_name", "head_fns")
+    __slots__ = (
+        "rule", "delta_pos", "steps", "head_name", "head_fns", "_prof",
+    )
 
     def __init__(
         self,
@@ -528,6 +540,9 @@ class JoinPlan:
         self.steps = steps
         self.head_name = rule.head.name
         self.head_fns = head_fns
+        # Profiler stat slot, lazily filled by PlanProfiler.should_sample
+        # so the sampling decision is one attribute load per execution.
+        self._prof = None
 
     def body_envs(
         self,
@@ -559,6 +574,26 @@ class JoinPlan:
             (name, tuple(fn(env) for fn in fns)) for env in envs
         ]
 
+    def execute_tracked(
+        self,
+        ev: Any,
+        delta_rows: list[Row] = (),
+        exclude: Optional[dict[str, set[Row]]] = None,
+    ) -> list[tuple[str, Row, Env]]:
+        """Like :meth:`execute`, but each result carries the final body
+        environment it was projected from: ``(relation, row, env)``.
+        The evaluator reconstructs witness body tuples from the env only
+        for derivations it records (environments are immutable once a
+        step emits them, so the references stay valid)."""
+        envs = self.body_envs(ev, delta_rows, exclude)
+        if not envs:
+            return []
+        name = self.head_name
+        fns = self.head_fns
+        return [
+            (name, tuple(fn(env) for fn in fns), env) for env in envs
+        ]
+
     def explain(self) -> str:
         """Human-readable plan: one line per step, in execution order."""
         tag = "full" if self.delta_pos is None else f"delta@{self.delta_pos}"
@@ -570,11 +605,18 @@ class JoinPlan:
 class AggregatePlan:
     """An aggregate rule: compiled body plan plus grouping/fold spec."""
 
-    __slots__ = ("rule", "body", "head_name", "group_fns", "agg_specs", "arity")
+    __slots__ = (
+        "rule", "body", "head_name", "group_fns", "agg_specs", "arity",
+        "_prof",
+    )
+
+    # Profiler tag (JoinPlans use their delta_pos instead).
+    delta_pos = "agg"
 
     def __init__(self, rule: Rule, body: JoinPlan, functions: FunctionLibrary):
         self.rule = rule
         self.body = body
+        self._prof = None
         head = rule.head
         self.head_name = head.name
         self.arity = len(head.args)
@@ -621,6 +663,40 @@ class AggregatePlan:
                 else:
                     row[i] = aggregate(func, [vr[slot] for vr in value_rows])
             out.append((self.head_name, tuple(row)))
+        return out
+
+    def execute_tracked(self, ev: Any) -> list[tuple[str, Row, tuple]]:
+        """Like :meth:`execute`; each aggregate output carries the tuple
+        of contributing body environments (one per distinct binding in
+        the group), from which the evaluator reconstructs witnesses."""
+        envs = self.body.body_envs(ev, (), None)
+        group_fns = self.group_fns
+        agg_specs = self.agg_specs
+        groups: dict[Row, list[Row]] = {}
+        witnesses: dict[Row, list[Env]] = {}
+        for env in envs:
+            key = tuple(fn(env) for _, fn in group_fns)
+            values = tuple(
+                None if fn is None else fn(env) for _, _, fn in agg_specs
+            )
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = [values]
+                witnesses[key] = [env]
+            else:
+                bucket.append(values)
+                witnesses[key].append(env)
+        out: list[tuple[str, Row, tuple]] = []
+        for key, value_rows in groups.items():
+            row: list[Any] = [None] * self.arity
+            for slot, (i, _fn) in enumerate(group_fns):
+                row[i] = key[slot]
+            for slot, (i, func, fn) in enumerate(agg_specs):
+                if fn is None:
+                    row[i] = len(value_rows)  # count<*>: one per binding
+                else:
+                    row[i] = aggregate(func, [vr[slot] for vr in value_rows])
+            out.append((self.head_name, tuple(row), tuple(witnesses[key])))
         return out
 
     def explain(self) -> str:
@@ -768,8 +844,14 @@ class RulePlans:
             )
             self.agg = None
 
-    def explain(self) -> str:
+    def explain(self, fires: Optional[int] = None) -> str:
         lines = [str(self.rule)]
+        if fires is not None:
+            # Cumulative head derivations staged for this rule over the
+            # evaluator's life — the same counter the profiler's
+            # hot-rules report keys on, so the two cross-reference by
+            # rule id.
+            lines.append(f"  fires: {fires} cumulative")
         if self.agg is not None:
             lines.append(self.agg.explain())
         else:
@@ -821,10 +903,22 @@ class PlanCache:
             self._rules = self._rules + (rule,)
         return rp
 
-    def explain(self, rule_name: Optional[str] = None) -> str:
-        """Render the cached plans (optionally for one rule) as text."""
+    def explain(
+        self,
+        rule_name: Optional[str] = None,
+        rule_fires: Optional[dict[str, int]] = None,
+    ) -> str:
+        """Render the cached plans (optionally for one rule) as text.
+
+        ``rule_fires`` — the evaluator's per-rule cumulative fire
+        counters — adds a ``fires: N cumulative`` line per rule so plan
+        output and profiler output cross-reference by rule id.
+        """
         parts = [
-            rp.explain()
+            rp.explain(
+                None if rule_fires is None
+                else rule_fires.get(rp.rule.name, 0)
+            )
             for rp in self._by_rule.values()
             if rule_name is None or rp.rule.name == rule_name
         ]

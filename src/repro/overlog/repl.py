@@ -14,6 +14,10 @@ Commands:
     rules                        print the program's rules
     strata                       print relation strata
     watch <rel>                  echo future derivations of a relation
+    \\why <rel> <v1> ...          derivation DAG of a tuple (provenance)
+    \\whynot <rel> <v1> ...       why a tuple is absent ('?' = unknown col)
+    \\profile [top]               sampled hot-rules report
+    \\explain [rule]              compiled join plans (+ fire counts)
     help / quit
 """
 
@@ -47,8 +51,24 @@ def _coerce(token: str) -> Any:
 
 
 class Repl:
-    def __init__(self, source: str, address: str = "repl"):
-        self.runtime = OverlogRuntime(parse(source), address=address)
+    """The REPL runs its runtime with the derivation ledger and plan
+    profiler enabled (unlike the library default of off): an interactive
+    session is exactly where ``\\why``/``\\whynot``/``\\profile`` pay off,
+    and its workloads are small enough that the overhead is invisible."""
+
+    def __init__(
+        self,
+        source: str,
+        address: str = "repl",
+        provenance: bool = True,
+        profile: bool = True,
+    ):
+        self.runtime = OverlogRuntime(
+            parse(source),
+            address=address,
+            provenance=provenance,
+            profile=profile,
+        )
         self._now = 0
 
     def execute(self, line: str) -> str:
@@ -56,6 +76,7 @@ class Repl:
         if not parts:
             return ""
         cmd, *args = parts
+        cmd = cmd.lstrip("\\")
         handler = getattr(self, f"cmd_{cmd}", None)
         if handler is None:
             return f"unknown command {cmd!r}; try 'help'"
@@ -121,6 +142,23 @@ class Repl:
             f"stratum {level}: {', '.join(sorted(rels))}"
             for level, rels in sorted(by_level.items())
         )
+
+    def cmd_why(self, rel: str, *values: str) -> str:
+        return self.runtime.why(rel, tuple(_coerce(v) for v in values))
+
+    def cmd_whynot(self, rel: str, *values: str) -> str:
+        from ..provenance.why import UNKNOWN
+
+        row = tuple(
+            UNKNOWN if v == "?" else _coerce(v) for v in values
+        )
+        return self.runtime.why_not(rel, row)
+
+    def cmd_profile(self, top: str = "") -> str:
+        return self.runtime.profile_report(top=int(top) if top else None)
+
+    def cmd_explain(self, rule: str = "") -> str:
+        return self.runtime.explain(rule or None)
 
     def cmd_watch(self, rel: str) -> str:
         self.runtime.watch(rel, lambda row: print(f"  [watch] {rel}{row}"))

@@ -61,6 +61,10 @@ class OverlogRuntime:
         naive: bool = False,
         compile_plans: bool = True,
         metrics: "NodeMetrics | bool | None" = None,
+        provenance: bool = False,
+        provenance_capacity: Optional[int] = None,
+        profile: bool = False,
+        profile_sample_every: Optional[int] = None,
     ):
         if isinstance(program, str):
             program = parse(program)
@@ -99,8 +103,36 @@ class OverlogRuntime:
             self.metrics = metrics
         if self.metrics is not None:
             self.metrics.bind_evaluator(self.evaluator)
+        # Optional provenance ledger + sampled plan profiler, both off by
+        # default (the evaluator's hot path then pays only None checks).
+        # Imported lazily so the engine has no hard provenance dependency.
+        self.ledger = None
+        self.profiler = None
+        if provenance:
+            from ..provenance.ledger import DerivationLedger
 
-        self._inbox: list[tuple[str, Row, TraceContext]] = []
+            self.ledger = DerivationLedger(
+                node=address,
+                **(
+                    {"capacity": provenance_capacity}
+                    if provenance_capacity is not None
+                    else {}
+                ),
+            )
+            self.evaluator.attach_ledger(self.ledger)
+        if profile:
+            from ..provenance.profiler import PlanProfiler
+
+            self.profiler = PlanProfiler(
+                **(
+                    {"sample_every": profile_sample_every}
+                    if profile_sample_every is not None
+                    else {}
+                ),
+            )
+            self.evaluator.attach_profiler(self.profiler)
+
+        self._inbox: list[tuple[str, Row, TraceContext, str]] = []
         self.last_step_ctx: TraceContext = ()
         self._deferred_deletes: list[tuple[str, Row]] = []
         self._watchers: dict[str, list[Callable[[Row], None]]] = {}
@@ -150,6 +182,47 @@ class OverlogRuntime:
         """Render the evaluator's compiled join plans (docs/EVALUATOR.md)."""
         return self.evaluator.explain(rule_name)
 
+    # -- provenance debugger (docs/PROVENANCE.md) -----------------------------
+
+    def why(
+        self,
+        relation: str,
+        row: Iterable[Any],
+        fmt: str = "text",
+        max_depth: int = 64,
+    ):
+        """Derivation DAG of a tuple, from this node's ledger only (use
+        ``Cluster.why`` for cross-node stitching).  Requires the runtime
+        to have been built with ``provenance=True``."""
+        if self.ledger is None:
+            msg = "(provenance ledger disabled: pass provenance=True)"
+            return msg if fmt == "text" else {"error": msg}
+        from ..provenance.why import render_why, why_dag
+
+        dag = why_dag(self.ledger, relation, tuple(row), max_depth=max_depth)
+        return render_why(dag) if fmt == "text" else dag
+
+    def why_not(self, relation: str, row: Iterable[Any], fmt: str = "text"):
+        """Replay candidate rules to explain why a tuple is absent.
+        Works without the ledger — it reads only rules and tables."""
+        from ..provenance.why import render_why_not, why_not
+
+        report = why_not(self.evaluator, relation, tuple(row))
+        return render_why_not(report) if fmt == "text" else report
+
+    def profile_report(self, fmt: str = "text", top: Optional[int] = None):
+        """The sampled plan profiler's hot-rules report (requires
+        ``profile=True``), through :mod:`repro.metrics.export`."""
+        if self.profiler is None:
+            msg = "(plan profiler disabled: pass profile=True)"
+            return msg if fmt == "text" else {"error": msg}
+        report = self.profiler.hot_rules(top=top)
+        if fmt == "text":
+            from ..metrics.export import render_hot_rules
+
+            return render_hot_rules(report)
+        return report
+
     # -- external interface ---------------------------------------------------
 
     def insert(
@@ -164,7 +237,7 @@ class OverlogRuntime:
         (see :mod:`repro.metrics.trace`); the step that consumes it runs
         under the union of its inbox contexts.
         """
-        self._inbox.append((relation, tuple(row), tuple(trace)))
+        self._inbox.append((relation, tuple(row), tuple(trace), "input"))
 
     def insert_many(self, relation: str, rows: Iterable[Iterable[Any]]) -> None:
         for row in rows:
@@ -175,7 +248,10 @@ class OverlogRuntime:
         timestep (bootstrap data: config, initial directory entries...)."""
         table = self.catalog.table(relation)
         for row in rows:
-            table.insert(tuple(row))
+            row = tuple(row)
+            table.insert(row)
+            if self.ledger is not None:
+                self.ledger.record_external("install", relation, row)
         self.evaluator.mark_dirty(relation)
 
     def watch(self, relation: str, callback: Callable[[Row], None]) -> None:
@@ -236,27 +312,37 @@ class OverlogRuntime:
         entries = self._inbox
         self._inbox = []
         entries.extend(
-            (rel, row, ()) for rel, row in self._due_timer_tuples(self._now)
+            (rel, row, (), "timer")
+            for rel, row in self._due_timer_tuples(self._now)
         )
         # The step's causal context is the (first-seen ordered, hence
         # deterministic) union of its inbox tuples' contexts; derived
         # effects — sends, @next deferrals — inherit it.
         ctx: list = []
         seen_refs: set = set()
-        for _rel, _row, trace in entries:
+        for _rel, _row, trace, _src in entries:
             for ref in trace:
                 if ref not in seen_refs:
                     seen_refs.add(ref)
                     ctx.append(ref)
         step_ctx = tuple(ctx)
+        if self.ledger is not None:
+            self.ledger.begin_step(self.step_count + 1, self._now, step_ctx)
+            for rel, row, trace, src in entries:
+                # Deferred (@next) re-arrivals already have a "next"
+                # entry recording the deriving rule — a fresh "input"
+                # entry would shadow it.
+                if src != "deferred":
+                    self.ledger.record_external(src, rel, row, trace)
         pre_deletes = self._deferred_deletes
         self._deferred_deletes = []
         result = self.evaluator.step(
-            [(rel, row) for rel, row, _ in entries], pre_deletes=pre_deletes
+            [(rel, row) for rel, row, _, _ in entries], pre_deletes=pre_deletes
         )
         # @next derivations become next step's inbox / pre-deletions.
         self._inbox.extend(
-            (rel, row, step_ctx) for rel, row in result.deferred_inserts
+            (rel, row, step_ctx, "deferred")
+            for rel, row in result.deferred_inserts
         )
         self._deferred_deletes.extend(result.deferred_deletes)
         self.last_step_ctx = step_ctx

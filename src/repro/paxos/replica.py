@@ -61,6 +61,8 @@ class PaxosReplica(OverlogProcess):
         election_stagger_ms: int = 400,
         seed: int = 0,
         extra_functions: Optional[dict] = None,
+        provenance: bool = False,
+        profile: bool = False,
     ):
         if address not in group:
             raise ValueError(f"{address} not in its own group {group}")
@@ -77,6 +79,8 @@ class PaxosReplica(OverlogProcess):
             program if program is not None else paxos_program(),
             seed=seed,
             extra_functions=functions,
+            provenance=provenance,
+            profile=profile,
         )
 
     def _next_localseq(self) -> int:
@@ -144,3 +148,22 @@ class PaxosReplica(OverlogProcess):
         """Inject a client operation at this replica (it forwards to the
         leader if it is not the leader itself)."""
         self.inject("client_op", (self.address, value))
+
+    # -- provenance debugging (docs/PROVENANCE.md) ---------------------------
+
+    def why_decided(self, inst: int, fmt: str = "text"):
+        """Derivation DAG of the ``decided`` entry for instance ``inst``
+        — *why did this slot decide this value?* — stitched across the
+        group's ledgers when attached, so the quorum of ``accepted``
+        messages resolves back to the acceptors that sent them.
+        Requires ``provenance=True``."""
+        value = self.decided_log().get(inst)
+        if value is None:
+            from ..provenance.why import UNKNOWN
+
+            return self.runtime.why_not("decided", (inst, UNKNOWN), fmt=fmt)
+        if self.cluster is not None:
+            return self.cluster.provenance.why(
+                self.address, "decided", (inst, value), fmt=fmt
+            )
+        return self.runtime.why("decided", (inst, value), fmt=fmt)

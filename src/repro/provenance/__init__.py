@@ -1,0 +1,35 @@
+"""Why-provenance for the Overlog runtime (docs/PROVENANCE.md).
+
+The package has three parts, all off by default:
+
+* :mod:`ledger` — a ring-buffered derivation ledger the compiled
+  evaluator appends to as head tuples are produced (rule id, stratum,
+  pass, joined body tuples, trace context),
+* :mod:`why` — ``why()`` derivation-DAG reconstruction and ``why_not()``
+  rule replay, plus :class:`ClusterProvenance` for cross-node stitching,
+* :mod:`profiler` — a sampled per-plan profiler emitting hot-rules
+  reports through :mod:`repro.metrics.export`.
+"""
+
+from .ledger import Derivation, DerivationLedger
+from .profiler import PlanProfiler
+from .why import (
+    UNKNOWN,
+    ClusterProvenance,
+    render_why,
+    render_why_not,
+    why_dag,
+    why_not,
+)
+
+__all__ = [
+    "Derivation",
+    "DerivationLedger",
+    "PlanProfiler",
+    "UNKNOWN",
+    "ClusterProvenance",
+    "why_dag",
+    "why_not",
+    "render_why",
+    "render_why_not",
+]

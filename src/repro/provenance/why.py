@@ -1,0 +1,618 @@
+"""``why()`` and ``why_not()`` — the provenance debugger's two queries.
+
+``why_dag`` reconstructs the derivation DAG of a tuple from the
+:class:`~repro.provenance.ledger.DerivationLedger`: each derivation entry
+links a head tuple to the body tuples its join matched, recursively, down
+to EDB leaves (bootstrap ``install`` facts, external inbox inserts, timer
+firings).  Cross-node edges are stitched two ways:
+
+* **ledger-to-ledger** — an ``input`` entry at node B matches a ``send``
+  entry for the same tuple (with ``dest == B``) in another registered
+  node's ledger, and reconstruction continues at the sender; or
+* **trace-based** — when the sender keeps no ledger (imperative clients
+  like :class:`repro.boomfs.client.BoomFSClient`), the input entry's
+  trace context is resolved through the PR 1 tracer to name the origin
+  node and trace.
+
+``why_not`` answers the complementary question: for every installed rule
+that could derive the missing tuple, it unifies the head with the (maybe
+partially :data:`UNKNOWN`) tuple and replays the rule body *in rule
+order* against the current tables with the AST-walking interpreter
+primitives, reporting the first body atom / predicate that empties the
+binding set.  The interpreter path is used deliberately: the compiled
+matchers freeze bind-vs-check decisions against an *empty* initial
+environment, so they would mishandle head-seeded bindings.
+
+Both queries are read-only over the ledger and tables — with one caveat
+for ``why_not``: replaying a body evaluates its assignments and
+conditions, so stateful builtins (``f_newid()`` etc.) are invoked and
+advance their counters.  See docs/PROVENANCE.md.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Optional
+
+from ..overlog.ast import AggSpec, Assign, Atom, Cond, Const, NotIn, Var
+from ..overlog.errors import EvaluationError
+from ..overlog.eval import eval_expr, match_atom
+from .ledger import DerivationLedger
+
+# Maximum alternative derivations of one tuple shown per DAG node.
+MAX_ALTERNATIVES = 3
+# Maximum blocking rows reported for a failing ``notin``.
+MAX_BLOCKERS = 3
+
+
+class _Unknown:
+    """Placeholder for an unknown column in a ``why_not`` query tuple
+    (e.g. an id the user cannot predict)."""
+
+    def __repr__(self) -> str:
+        return "?"
+
+
+UNKNOWN = _Unknown()
+
+
+def _row_repr(row: Iterable[Any]) -> str:
+    return "(" + ", ".join(repr(v) for v in row) + ")"
+
+
+# ---------------------------------------------------------------------------
+# why(): derivation DAG reconstruction
+# ---------------------------------------------------------------------------
+
+
+def why_dag(
+    ledger: DerivationLedger,
+    relation: str,
+    row: Iterable[Any],
+    ledgers: Optional[dict[str, DerivationLedger]] = None,
+    tracer: Any = None,
+    max_depth: int = 64,
+) -> dict:
+    """Reconstruct the derivation DAG of ``(relation, row)``.
+
+    ``ledgers`` maps node name -> ledger for cross-node stitching (the
+    starting ledger need not be included); ``tracer`` enables trace-based
+    origin resolution for senders without ledgers.  The result is a
+    JSON-friendly dict tree; repeated subtrees collapse to ``ref`` nodes
+    and cycles (possible through ``@next``) are cut the same way.
+    """
+    all_ledgers: dict[str, DerivationLedger] = {str(ledger.node): ledger}
+    if ledgers:
+        for name, led in ledgers.items():
+            all_ledgers[str(name)] = led
+    done: set = set()
+
+    def build(node: str, rel: str, r: tuple, depth: int, path: frozenset) -> dict:
+        key = (node, rel, r)
+        out: dict = {"node": node, "relation": rel, "row": list(r)}
+        if key in path or key in done:
+            out["status"] = "ref"  # shown elsewhere in the DAG
+            return out
+        if depth > max_depth:
+            out["status"] = "depth-limit"
+            return out
+        led = all_ledgers.get(node)
+        entries = led.derivations_of(rel, r) if led is not None else []
+        if not entries:
+            out["status"] = "unknown"
+            out["note"] = (
+                "no recorded derivation (EDB fact predating the ledger, "
+                "or evicted from the ring)"
+            )
+            return out
+        done.add(key)
+        path = path | {key}
+        # Prefer live entries; newest first; cap alternatives.
+        entries = sorted(
+            entries, key=lambda e: (e.retracted is not None, -e.seq)
+        )
+        shown = entries[:MAX_ALTERNATIVES]
+        out["status"] = (
+            "retracted"
+            if all(e.retracted is not None for e in entries)
+            else "derived"
+        )
+        if len(entries) > len(shown):
+            out["alternatives_elided"] = len(entries) - len(shown)
+        rendered = []
+        for entry in shown:
+            d = entry.to_dict()
+            d["body"] = [
+                build(node, brel, brow, depth + 1, path)
+                for brel, brow in entry.body
+            ]
+            if entry.kind == "input":
+                origin = _stitch_origin(
+                    all_ledgers, tracer, node, entry, depth, path, build
+                )
+                if origin is not None:
+                    d["origin"] = origin
+            rendered.append(d)
+        out["derivations"] = rendered
+        return out
+
+    start = str(ledger.node)
+    return build(start, relation, tuple(row), 0, frozenset())
+
+
+def _stitch_origin(
+    ledgers: dict[str, DerivationLedger],
+    tracer: Any,
+    node: str,
+    entry,
+    depth: int,
+    path: frozenset,
+    build,
+) -> Optional[dict]:
+    """Resolve where an ``input`` entry came from: the sender's ledger
+    if it keeps one, else the tracer's span parentage."""
+    candidates = []
+    for name, led in ledgers.items():
+        if name == node:
+            continue
+        for send in led.sends_of(entry.rel, entry.row):
+            if str(send.dest) == node:
+                candidates.append((name, send))
+    if candidates:
+        # The latest send not after the receipt; falls back to the
+        # latest send overall (clock skew cannot happen — one virtual
+        # clock — but a re-send may race the ring).
+        eligible = [
+            c for c in candidates if c[1].now_ms <= entry.now_ms
+        ] or candidates
+        sender, send = max(eligible, key=lambda c: (c[1].now_ms, c[1].seq))
+        return {
+            "via": "ledger",
+            "node": sender,
+            "rule": send.rule,
+            "step": send.step,
+            "body": [
+                build(sender, brel, brow, depth + 1, path)
+                for brel, brow in send.body
+            ],
+        }
+    if tracer is not None and entry.ctx:
+        ref = entry.ctx[0]
+        origin_node = tracer.origin_node(ref)
+        if origin_node is not None:
+            return {
+                "via": "trace",
+                "node": origin_node,
+                "trace": ref.trace_id,
+                "span": ref.span_id,
+            }
+    return None
+
+
+def dag_nodes(dag: dict) -> set[str]:
+    """Every node name appearing in a ``why_dag`` result (including
+    trace-resolved origins) — the provenance analogue of
+    ``Tracer.nodes_crossed``."""
+    nodes: set[str] = set()
+
+    def walk(d: dict) -> None:
+        if "node" in d:
+            nodes.add(d["node"])
+        for entry in d.get("derivations", ()):
+            for child in entry.get("body", ()):
+                walk(child)
+            origin = entry.get("origin")
+            if origin:
+                nodes.add(origin["node"])
+                for child in origin.get("body", ()):
+                    walk(child)
+
+    walk(dag)
+    return nodes
+
+
+def render_why(dag: dict) -> str:
+    """ASCII tree rendering of a ``why_dag`` result."""
+    lines: list[str] = []
+
+    def tuple_label(d: dict) -> str:
+        return f"{d['relation']}{_row_repr(d['row'])}"
+
+    def emit(d: dict, depth: int) -> None:
+        pad = "  " * depth
+        status = d.get("status")
+        if status == "ref":
+            lines.append(f"{pad}+- {tuple_label(d)} (shown above)")
+            return
+        if status == "depth-limit":
+            lines.append(f"{pad}+- {tuple_label(d)} ... (depth limit)")
+            return
+        if status == "unknown":
+            lines.append(f"{pad}+- {tuple_label(d)} [no ledger entry]")
+            return
+        mark = " [RETRACTED]" if status == "retracted" else ""
+        lines.append(f"{pad}+- {tuple_label(d)}{mark}")
+        for entry in d.get("derivations", ()):
+            emit_entry(entry, depth + 1)
+        elided = d.get("alternatives_elided")
+        if elided:
+            lines.append(
+                f"{pad}   (+{elided} more derivation(s) elided)"
+            )
+
+    def emit_entry(entry: dict, depth: int) -> None:
+        pad = "  " * depth
+        kind = entry["kind"]
+        tomb = entry.get("retracted")
+        tomb_s = (
+            f" [RETRACTED step {tomb['step']}: {tomb['reason']}]"
+            if tomb
+            else ""
+        )
+        if kind == "rule":
+            head = (
+                f"rule {entry['rule']} @ step {entry['step']} "
+                f"(stratum {entry['stratum']}, pass {entry['pass']})"
+            )
+        elif kind == "next":
+            head = f"rule {entry['rule']} @next, deferred at step {entry['step']}"
+        elif kind == "install":
+            head = f"EDB install @ step {entry['step']}"
+        elif kind == "timer":
+            head = f"timer firing @ step {entry['step']}"
+        elif kind == "input":
+            head = f"external input @ step {entry['step']}"
+        else:
+            head = f"{kind} @ step {entry['step']}"
+        lines.append(f"{pad}<= {head}{tomb_s}")
+        for child in entry.get("body", ()):
+            emit(child, depth + 1)
+        origin = entry.get("origin")
+        if origin is not None:
+            opad = "  " * (depth + 1)
+            if origin["via"] == "ledger":
+                lines.append(
+                    f"{opad}<- sent by {origin['node']} "
+                    f"(rule {origin['rule']} @ step {origin['step']})"
+                )
+                for child in origin.get("body", ()):
+                    emit(child, depth + 2)
+            else:
+                lines.append(
+                    f"{opad}<- origin {origin['node']} "
+                    f"(trace {origin['trace']} span {origin['span']})"
+                )
+
+    header = f"why {dag['node']}:{tuple_label(dag)}?"
+    emit(dag, 0)
+    return header + "\n" + "\n".join(lines)
+
+
+def why_json(dag: dict) -> str:
+    return json.dumps(dag, indent=2, sort_keys=True, default=repr)
+
+
+# ---------------------------------------------------------------------------
+# why_not(): rule replay against current tables
+# ---------------------------------------------------------------------------
+
+
+def why_not(evaluator, relation: str, row: Iterable[Any]) -> dict:
+    """Explain why ``(relation, row)`` is not derivable right now.
+
+    ``row`` values may be :data:`UNKNOWN` for columns the caller cannot
+    predict.  Each candidate rule (same head relation) is replayed:
+    unify the head against the tuple, then run the body in rule order
+    over the current tables; the first element that empties the binding
+    set is the reported failure.
+    """
+    row = tuple(row)
+    catalog = evaluator.catalog
+    report: dict = {
+        "relation": relation,
+        "row": [repr(v) if isinstance(v, _Unknown) else v for v in row],
+        "candidates": [],
+    }
+    if catalog.is_materialized(relation):
+        matching = [
+            r
+            for r in catalog.table(relation).scan()
+            if _row_matches(r, row)
+        ]
+        report["present"] = bool(matching)
+        if matching:
+            report["matching_rows"] = [list(r) for r in matching[:5]]
+    else:
+        report["present"] = False
+        report["note"] = (
+            f"{relation} is an event relation: tuples exist only inside "
+            "a timestep"
+        )
+    for rule in evaluator.rules:
+        if rule.head.name != relation:
+            continue
+        report["candidates"].append(_replay_rule(evaluator, rule, row))
+    if not report["candidates"]:
+        report["note"] = f"no installed rule derives {relation}"
+    return report
+
+
+def _row_matches(actual: tuple, pattern: tuple) -> bool:
+    if len(actual) != len(pattern):
+        return False
+    return all(
+        isinstance(p, _Unknown) or a == p for a, p in zip(actual, pattern)
+    )
+
+
+def _replay_rule(evaluator, rule, row: tuple) -> dict:
+    result: dict = {
+        "rule": rule.name,
+        "text": str(rule),
+        "deferred": rule.deferred,
+        "delete": rule.delete,
+    }
+    if rule.delete:
+        result["status"] = "delete-rule"
+        result["note"] = "delete rules retract tuples, they cannot derive one"
+        return result
+    head = rule.head
+    if len(head.args) != len(row):
+        result["status"] = "head-mismatch"
+        result["failed_at"] = {
+            "element": str(head),
+            "detail": f"arity {len(head.args)} != query arity {len(row)}",
+        }
+        return result
+
+    # Head unification: bind head variables from the known query columns;
+    # constants must match; computed head expressions (and aggregate
+    # specs) are checked after the body binds their inputs.
+    env: dict = {}
+    post_checks: list[tuple[int, Any, Any]] = []
+    for col, (arg, value) in enumerate(zip(head.args, row)):
+        if isinstance(value, _Unknown):
+            continue
+        if isinstance(arg, Var):
+            if arg.is_wildcard:
+                continue
+            if arg.name in env:
+                if env[arg.name] != value:
+                    result["status"] = "head-mismatch"
+                    result["failed_at"] = {
+                        "element": str(head),
+                        "detail": (
+                            f"column {col}: {arg.name} already bound to "
+                            f"{env[arg.name]!r}, query wants {value!r}"
+                        ),
+                    }
+                    return result
+            else:
+                env[arg.name] = value
+        elif isinstance(arg, Const):
+            if arg.value != value:
+                result["status"] = "head-mismatch"
+                result["failed_at"] = {
+                    "element": str(head),
+                    "detail": (
+                        f"column {col}: constant {arg.value!r} != "
+                        f"query value {value!r}"
+                    ),
+                }
+                return result
+        elif isinstance(arg, AggSpec):
+            # Aggregate outputs cannot be inverted; treat as unknown.
+            continue
+        else:
+            post_checks.append((col, arg, value))
+
+    envs = [env]
+    trace: list[dict] = []
+    functions = evaluator.functions
+    for elem in rule.body:
+        step_info: dict = {"element": str(elem), "survivors": 0}
+        try:
+            if isinstance(elem, Atom):
+                step_info["kind"] = "atom"
+                rows = list(evaluator._rows(elem.name))
+                step_info["relation"] = elem.name
+                step_info["relation_size"] = len(rows)
+                new_envs = []
+                for e in envs:
+                    for r in rows:
+                        matched = match_atom(elem, r, e, functions)
+                        if matched is not None:
+                            new_envs.append(matched)
+                envs = new_envs
+                if not envs and not evaluator.catalog.is_materialized(
+                    elem.name
+                ):
+                    step_info["note"] = (
+                        f"{elem.name} is an event relation — empty "
+                        "between timesteps"
+                    )
+            elif isinstance(elem, NotIn):
+                step_info["kind"] = "notin"
+                step_info["relation"] = elem.atom.name
+                rows = list(evaluator._rows(elem.atom.name))
+                kept = []
+                blockers: list = []
+                for e in envs:
+                    blocked = False
+                    for r in rows:
+                        if match_atom(elem.atom, r, e, functions) is not None:
+                            blocked = True
+                            if len(blockers) < MAX_BLOCKERS:
+                                blockers.append(list(r))
+                            break
+                    if not blocked:
+                        kept.append(e)
+                envs = kept
+                if blockers:
+                    step_info["blockers"] = blockers
+            elif isinstance(elem, Assign):
+                step_info["kind"] = "assign"
+                new_envs = []
+                for e in envs:
+                    value = eval_expr(elem.expr, e, functions)
+                    if elem.var.name in e:
+                        if e[elem.var.name] == value:
+                            new_envs.append(e)
+                    else:
+                        extended = dict(e)
+                        extended[elem.var.name] = value
+                        new_envs.append(extended)
+                envs = new_envs
+            elif isinstance(elem, Cond):
+                step_info["kind"] = "cond"
+                envs = [e for e in envs if eval_expr(elem.expr, e, functions)]
+            else:  # pragma: no cover - parser prevents this
+                raise EvaluationError(f"unknown body element {elem!r}")
+        except EvaluationError as exc:
+            step_info["error"] = str(exc)
+            envs = []
+        step_info["survivors"] = len(envs)
+        trace.append(step_info)
+        if not envs:
+            result["status"] = "fails"
+            result["failed_at"] = step_info
+            result["trace"] = trace
+            return result
+
+    # Body satisfiable: check computed head columns against the query.
+    for col, arg, value in post_checks:
+        surviving = []
+        for e in envs:
+            try:
+                if eval_expr(arg, e, functions) == value:
+                    surviving.append(e)
+            except EvaluationError:
+                pass
+        envs = surviving
+        if not envs:
+            result["status"] = "fails"
+            result["failed_at"] = {
+                "kind": "head-expr",
+                "element": str(arg),
+                "detail": (
+                    f"no body binding makes head column {col} equal "
+                    f"{value!r}"
+                ),
+            }
+            result["trace"] = trace
+            return result
+
+    result["status"] = "derivable"
+    result["trace"] = trace
+    result["bindings"] = len(envs)
+    if rule.deferred:
+        result["note"] = "@next rule: would insert at the next timestep"
+    elif rule.head.loc is not None:
+        result["note"] = (
+            "head has a location specifier: the tuple may route to "
+            "another node"
+        )
+    elif rule.is_aggregate:
+        result["note"] = (
+            "aggregate rule: derivability checked for the group, not "
+            "the folded value"
+        )
+    return result
+
+
+def render_why_not(report: dict) -> str:
+    lines = [
+        f"why not {report['relation']}"
+        f"({', '.join(map(str, report['row']))})?"
+    ]
+    if report.get("present"):
+        lines.append(
+            "  tuple IS present; matching rows: "
+            + ", ".join(map(str, report.get("matching_rows", [])))
+        )
+    if "note" in report:
+        lines.append(f"  note: {report['note']}")
+    for cand in report["candidates"]:
+        status = cand["status"]
+        if status == "derivable":
+            line = (
+                f"  rule {cand['rule']}: DERIVABLE now "
+                f"({cand['bindings']} binding(s))"
+            )
+            if "note" in cand:
+                line += f" — {cand['note']}"
+            lines.append(line)
+        elif status == "head-mismatch":
+            lines.append(
+                f"  rule {cand['rule']}: head mismatch — "
+                f"{cand['failed_at']['detail']}"
+            )
+        elif status == "delete-rule":
+            lines.append(f"  rule {cand['rule']}: (delete rule, skipped)")
+        else:
+            fail = cand["failed_at"]
+            detail = fail.get("detail")
+            if detail is None:
+                bits = []
+                if "relation_size" in fail:
+                    bits.append(f"{fail['relation_size']} row(s) in relation")
+                if "blockers" in fail:
+                    bits.append(f"blocked by {fail['blockers']}")
+                if "note" in fail:
+                    bits.append(fail["note"])
+                if "error" in fail:
+                    bits.append(fail["error"])
+                detail = "; ".join(bits) if bits else "0 bindings survive"
+            lines.append(
+                f"  rule {cand['rule']}: fails at {fail['element']} — "
+                f"{detail}"
+            )
+            for step in cand.get("trace", ()):
+                lines.append(
+                    f"      after {step['element']}: "
+                    f"{step['survivors']} binding(s)"
+                )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Cross-node registry
+# ---------------------------------------------------------------------------
+
+
+class ClusterProvenance:
+    """Registry of per-node derivation ledgers plus the cluster tracer,
+    so ``why()`` stitches derivations across simulated nodes."""
+
+    def __init__(self, tracer: Any = None):
+        self.tracer = tracer
+        self.ledgers: dict[str, DerivationLedger] = {}
+
+    def register(self, node: Any, ledger: DerivationLedger) -> None:
+        """(Re-)register a node's ledger — called on start and restart."""
+        self.ledgers[str(node)] = ledger
+
+    def ledger_for(self, node: Any) -> Optional[DerivationLedger]:
+        return self.ledgers.get(str(node))
+
+    def why(
+        self,
+        node: Any,
+        relation: str,
+        row: Iterable[Any],
+        fmt: str = "text",
+        max_depth: int = 64,
+    ):
+        ledger = self.ledgers.get(str(node))
+        if ledger is None:
+            msg = f"(no provenance ledger registered for node {node!r})"
+            return msg if fmt == "text" else {"error": msg}
+        dag = why_dag(
+            ledger,
+            relation,
+            row,
+            ledgers=self.ledgers,
+            tracer=self.tracer,
+            max_depth=max_depth,
+        )
+        return render_why(dag) if fmt == "text" else dag

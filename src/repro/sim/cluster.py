@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, Optional
 
 from ..metrics import ClusterMetrics, Tracer
+from ..provenance.why import ClusterProvenance
 from .network import Address, LatencyModel, Network
 from .node import Process
 from .simulator import Simulator
@@ -30,6 +31,10 @@ class Cluster:
         # the virtual clock (see docs/OBSERVABILITY.md).
         self.metrics = ClusterMetrics()
         self.tracer = Tracer(clock=lambda: self.sim.now)
+        # Cross-node provenance: nodes built with provenance=True register
+        # their derivation ledgers here, and Cluster.why() stitches
+        # derivation DAGs across them (docs/PROVENANCE.md).
+        self.provenance = ClusterProvenance(tracer=self.tracer)
         self.network = Network(
             self.sim,
             latency=latency,
@@ -129,3 +134,9 @@ class Cluster:
 
     def export_traces_jsonl(self, path) -> None:
         self.tracer.export_jsonl(path)
+
+    def why(self, node: Address, relation: str, row, fmt: str = "text"):
+        """Cross-node derivation DAG of ``(relation, row)`` as recorded by
+        ``node``'s ledger, stitched through every registered ledger and
+        the tracer.  Requires the node to run with ``provenance=True``."""
+        return self.provenance.why(node, relation, row, fmt=fmt)

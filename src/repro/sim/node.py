@@ -103,6 +103,14 @@ class OverlogProcess(Process):
     ``METRICS`` is forwarded to the runtime: ``None`` (default) enables
     the always-on registry, ``False`` disables it — an ablation hook for
     measuring instrumentation overhead (bench E4/E8).
+
+    ``provenance``/``profile`` turn on the runtime's derivation ledger
+    and sampled plan profiler (both off by default — see
+    docs/PROVENANCE.md); the ledger is registered with the cluster's
+    :class:`~repro.provenance.why.ClusterProvenance` so ``Cluster.why``
+    stitches derivations across nodes, and re-registered after a restart
+    (a restarted node's provenance starts from blank, like the rest of
+    its soft state).
     """
 
     METRICS: Any = None
@@ -115,11 +123,17 @@ class OverlogProcess(Process):
         step_cost_ms: int = 0,
         per_derivation_cost_us: int = 0,
         extra_functions: Optional[dict[str, Callable[..., Any]]] = None,
+        provenance: bool = False,
+        provenance_capacity: Optional[int] = None,
+        profile: bool = False,
     ):
         super().__init__(address)
         self._program = program
         self._seed = seed
         self._extra_functions = extra_functions
+        self._provenance = provenance
+        self._provenance_capacity = provenance_capacity
+        self._profile = profile
         self.step_cost_ms = step_cost_ms
         self.per_derivation_cost_us = per_derivation_cost_us
         self.runtime = self._make_runtime()
@@ -136,9 +150,20 @@ class OverlogProcess(Process):
             seed=self._seed,
             extra_functions=self._extra_functions,
             metrics=self.METRICS,
+            provenance=self._provenance,
+            provenance_capacity=self._provenance_capacity,
+            profile=self._profile,
         )
 
     # -- lifecycle --------------------------------------------------------------
+
+    def attach(self, cluster: "Cluster") -> None:
+        super().attach(cluster)
+        self._register_ledger()
+
+    def _register_ledger(self) -> None:
+        if self.cluster is not None and self.runtime.ledger is not None:
+            self.cluster.provenance.register(self.address, self.runtime.ledger)
 
     def start(self) -> None:
         self.bootstrap()
@@ -160,6 +185,9 @@ class OverlogProcess(Process):
         if self.runtime.metrics is not None:
             self.metrics = self.runtime.metrics.registry
         self._register_metrics()
+        # A fresh runtime means a fresh ledger; re-register it so
+        # cluster-wide why() keeps resolving through this node.
+        self._register_ledger()
         self._step_pending = False
         self._busy_until = 0
         self._timer_handle = None

@@ -92,6 +92,52 @@ class TestRuleTracing:
         assert collector.rule_counts().get("c1") == 1  # mkdir rule traced
 
 
+class TestTracingCompiledPlans:
+    """Regression: trace rewrites must ride the compiled-plan path like
+    any other rules — plans are built for the twin rules, reused across
+    timesteps, and dropped (then rebuilt) when a rewrite swaps rules in
+    at runtime."""
+
+    def test_traced_program_compiles_plans(self):
+        rt = OverlogRuntime(add_rule_tracing(parse(SIMPLE)))
+        planner = rt.evaluator.planner
+        assert planner is not None
+        planned = {rp.rule.name for rp in planner.plans}
+        assert {"r1", "r2", "trace_r1", "trace_r2"} <= planned
+        rt.insert_many("a", [(1,), (2,)])
+        rt.tick()
+        rt.insert("a", (3,))
+        rt.tick()
+        # Compiled once at install; ticking reuses the cached plans.
+        assert planner.compile_count == 1
+
+    def test_runtime_rewrite_invalidates_plan_cache(self):
+        # trace_event must be declared up front: add_rule installs rules,
+        # not declarations (the full-program rewrite adds the decl itself).
+        rt = OverlogRuntime(parse(SIMPLE + "event(trace_event, 4);"))
+        planner = rt.evaluator.planner
+        rt.insert_many("a", [(1,), (2,)])
+        rt.tick()
+        assert planner.compile_count == 1
+        # Apply the tracing rewrite to the *running* program, keeping
+        # state: install the twin rules through add_rule.
+        traced = add_rule_tracing(rt.program)
+        twins = [r for r in traced.rules if r.name.startswith("trace_")]
+        collector = TraceCollector()
+        collector.attach(rt)
+        for twin in twins:
+            rt.add_rule(twin)
+        planned = {rp.rule.name for rp in rt.evaluator.planner.plans}
+        assert {"trace_r1", "trace_r2"} <= planned
+        assert rt.evaluator.planner.compile_count >= 2  # cache rebuilt
+        rt.insert("a", (5,))
+        rt.tick(now=7)
+        # The twins fire through their freshly compiled plans — over the
+        # new tuple *and* the pre-existing rows (add_rule marks the read
+        # relations dirty, so new rules apply retroactively).
+        assert collector.rule_counts() == {"r1": 3, "r2": 2}
+
+
 class TestRelationTracing:
     def test_relation_tracing(self):
         rt = OverlogRuntime(add_relation_tracing(parse(SIMPLE), ["b"]))

@@ -382,6 +382,18 @@ def test_compiled_plans_match_reference_and_naive(seed):
     compiled = run_variant(program, batches)
     interpreted = run_variant(program, batches, compile_plans=False)
     naive = run_variant(program, batches, naive=True)
+    # The provenance ledger + sampled profiler must be pure observers:
+    # with both enabled (and an aggressive 1-in-2 sampling rate so the
+    # profiler's own execution paths run constantly), the compiled
+    # evaluator must stay bit-identical to its unobserved self.
+    ledgered = run_variant(
+        program,
+        batches,
+        provenance=True,
+        profile=True,
+        profile_sample_every=2,
+    )
+    assert ledgered == compiled, str(program)
 
     # The compiled path must be indistinguishable from the interpreted
     # reference, down to per-rule fire counts and semi-naive pass counts.

@@ -74,6 +74,36 @@ class TestCommands:
     def test_blank_line(self, repl):
         assert repl.execute("") == ""
 
+    def test_why_command(self, repl):
+        repl.execute("insert link a b")
+        repl.execute("insert link b c")
+        repl.execute("tick")
+        out = repl.execute("\\why path a c")
+        assert "why" in out and "external input" in out
+
+    def test_whynot_command_with_unknown(self, repl):
+        repl.execute("insert link a b")
+        repl.execute("tick")
+        out = repl.execute("\\whynot path c ?")
+        assert "why not path" in out and "fails at" in out
+
+    def test_profile_command(self, repl):
+        repl.execute("insert link a b")
+        repl.execute("tick")
+        out = repl.execute("\\profile")
+        assert "hot rules" in out
+
+    def test_explain_command(self, repl):
+        repl.execute("insert link a b")
+        repl.execute("tick")
+        out = repl.execute("\\explain")
+        assert "fires:" in out
+
+    def test_commands_work_without_backslash(self, repl):
+        repl.execute("insert link a b")
+        repl.execute("tick")
+        assert "hot rules" in repl.execute("profile")
+
     def test_boomfs_program_loads(self):
         from repro.boomfs import master_program_source
 
