@@ -38,13 +38,17 @@ def _jsonable(value):
     return repr(value)
 
 
-def write_json_report(name: str, payload) -> Path:
+def write_json_report(name: str, payload, backend: str = "sim") -> Path:
     """Write the machine-readable twin of a text report:
-    ``benchmarks/reports/<name>.json``."""
+    ``benchmarks/reports/<name>.json``.
+
+    Every report records which transport backend produced it (``sim`` by
+    default — pass ``cluster.backend`` when a bench runs elsewhere), so
+    numbers from different substrates are never compared silently.
+    """
     REPORTS_DIR.mkdir(exist_ok=True)
     path = REPORTS_DIR / f"{name}.json"
-    path.write_text(
-        json.dumps(_jsonable(payload), indent=2, sort_keys=True) + "\n"
-    )
+    document = {"_backend": backend, "results": _jsonable(payload)}
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     print(f"[json report written to {path}]")
     return path

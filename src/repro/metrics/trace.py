@@ -10,12 +10,16 @@ of clock skew because the whole cluster shares one virtual clock.
 Propagation model
 -----------------
 
-The simulator is single-threaded, so causality is dynamic scope:
+Handlers run single-threaded on either backend, so causality is dynamic
+scope:
 
 * ``tracer.current`` holds the active span references while a handler (or
   an Overlog timestep's effect phase) runs;
-* :class:`~repro.sim.network.Network` captures ``current`` at send time
-  and restores it (as freshly minted *child* spans) around delivery;
+* :meth:`repro.sim.node.Process.send` captures ``current`` at buffer time
+  (``on_send`` mints a message id that rides the
+  :class:`~repro.transport.envelope.Envelope` next to its delta, so
+  batching never blurs which span caused which tuple) and the cluster
+  restores it (as freshly minted *child* spans) around each delivery;
 * :class:`~repro.overlog.runtime.OverlogRuntime` tags inbox tuples with
   the context they arrived under; a timestep executes under the union of
   its inbox tuples' contexts, so tuples derived by rules — including

@@ -1,14 +1,28 @@
 """Discrete-event simulation substrate.
 
 Replaces the paper's EC2 testbed: a deterministic virtual-time event loop
-(:class:`Simulator`), a message network with latency/loss/partitions
-(:class:`Network`), node abstractions (:class:`Process`,
-:class:`OverlogProcess`) and the top-level :class:`Cluster`.
+(:class:`Simulator`), node abstractions (:class:`Process`,
+:class:`OverlogProcess`) and the top-level :class:`Cluster`.  The
+network itself lives in :mod:`repro.transport` — the simulator backend
+is :class:`~repro.transport.sim_transport.SimTransport`, re-exported
+here with the transport contract (:class:`Transport`,
+:class:`Envelope`, :class:`TransportStats`) for convenience; ``Network``
+and ``NetworkStats`` remain as historical aliases.
 
 All time is integer milliseconds; all randomness flows from seeds, so any
 distributed execution in this repository can be replayed exactly.
 """
 
+from ..transport import (
+    Address,
+    Envelope,
+    LatencyModel,
+    NetworkStats,
+    Outbox,
+    SimTransport,
+    Transport,
+    TransportStats,
+)
 from .cluster import Cluster
 from .failure import (
     CrashEvent,
@@ -16,7 +30,7 @@ from .failure import (
     PartitionEvent,
     random_crash_schedule,
 )
-from .network import Address, LatencyModel, Message, Network, NetworkStats
+from .network import Message, Network
 from .node import OverlogProcess, Process
 from .simulator import EventHandle, Simulator
 
@@ -24,15 +38,20 @@ __all__ = [
     "Address",
     "Cluster",
     "CrashEvent",
+    "Envelope",
     "EventHandle",
     "FailureSchedule",
     "LatencyModel",
     "Message",
     "Network",
     "NetworkStats",
+    "Outbox",
     "OverlogProcess",
     "PartitionEvent",
     "Process",
+    "SimTransport",
     "Simulator",
+    "Transport",
+    "TransportStats",
     "random_crash_schedule",
 ]

@@ -1,115 +1,45 @@
-"""Cluster: the top-level container wiring processes, network and clock.
+"""Simulated cluster: BaseCluster over the discrete-event backend.
 
-A :class:`Cluster` is what an experiment script constructs: it owns the
-simulator, the network, and a registry of named processes, and offers
-crash/restart/partition controls used by the availability experiments.
+A :class:`Cluster` is what an experiment script constructs: the shared
+cluster surface (process registry, crash/restart/partition controls,
+observability) from :class:`~repro.transport.base_cluster.BaseCluster`,
+bound to a :class:`~repro.sim.simulator.Simulator` clock and a
+:class:`~repro.transport.sim_transport.SimTransport`.  Deterministic for
+a given seed; the drop-in alternative is
+:class:`repro.transport.asyncio_backend.AsyncCluster`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional
+from typing import Callable, Optional
 
-from ..metrics import ClusterMetrics, Tracer
-from ..provenance.why import ClusterProvenance
-from .network import Address, LatencyModel, Network
-from .node import Process
+from ..transport.base_cluster import BaseCluster
+from ..transport.sim_transport import LatencyModel, SimTransport
 from .simulator import Simulator
 
 
-class Cluster:
-    """A simulated cluster of processes."""
+class Cluster(BaseCluster):
+    """A simulated cluster of processes (virtual time, seeded jitter)."""
+
+    backend = "sim"
 
     def __init__(
         self,
         seed: int = 0,
         latency: Optional[LatencyModel] = None,
         loss_rate: float = 0.0,
+        batching: bool = True,
     ):
         self.sim = Simulator()
-        # Observability: one cluster-wide metrics aggregator (every node's
-        # registry is adopted into it on attach) and one tracer driven by
-        # the virtual clock (see docs/OBSERVABILITY.md).
-        self.metrics = ClusterMetrics()
-        self.tracer = Tracer(clock=lambda: self.sim.now)
-        # Cross-node provenance: nodes built with provenance=True register
-        # their derivation ledgers here, and Cluster.why() stitches
-        # derivation DAGs across them (docs/PROVENANCE.md).
-        self.provenance = ClusterProvenance(tracer=self.tracer)
-        self.network = Network(
-            self.sim,
-            latency=latency,
-            loss_rate=loss_rate,
-            seed=seed,
-            tracer=self.tracer,
+        super().__init__(
+            SimTransport(
+                self.sim, latency=latency, loss_rate=loss_rate, seed=seed
+            ),
+            batching=batching,
         )
         self.seed = seed
-        self.processes: dict[Address, Process] = {}
-
-    # -- membership -----------------------------------------------------------
-
-    def add(self, process: Process) -> Process:
-        if process.address in self.processes:
-            raise ValueError(f"duplicate address {process.address}")
-        self.processes[process.address] = process
-        process.attach(self)
-        self.network.register(process.address, process.handle_message)
-        process.start()
-        return process
-
-    def get(self, address: Address) -> Process:
-        return self.processes[address]
-
-    def addresses(self) -> list[Address]:
-        return list(self.processes)
-
-    # -- failure injection --------------------------------------------------------
-
-    def crash(self, address: Address) -> None:
-        """Fail-stop the node: it stops receiving, sending and ticking.
-        All volatile state is lost."""
-        process = self.processes[address]
-        if process.crashed:
-            return
-        process.crashed = True
-        process.on_crash()
-        self.network.unregister(address)
-
-    def restart(self, address: Address) -> None:
-        """Bring a crashed node back with empty volatile state."""
-        process = self.processes[address]
-        if not process.crashed:
-            return
-        process.crashed = False
-        reset = getattr(process, "reset_for_restart", None)
-        if reset is not None:
-            reset()
-        self.network.register(address, process.handle_message)
-        process.start()
-        on_restart = getattr(process, "on_restart", None)
-        if on_restart is not None:
-            on_restart()
-
-    def crash_at(self, time_ms: int, address: Address) -> None:
-        self.sim.schedule_at(time_ms, lambda: self.crash(address))
-
-    def restart_at(self, time_ms: int, address: Address) -> None:
-        self.sim.schedule_at(time_ms, lambda: self.restart(address))
-
-    def partition(self, *groups: Iterable[Address]) -> None:
-        self.network.partition(*[list(g) for g in groups])
-
-    def heal(self) -> None:
-        self.network.heal()
-
-    def is_up(self, address: Address) -> bool:
-        process = self.processes.get(address)
-        return process is not None and not process.crashed
 
     # -- running ----------------------------------------------------------------
-
-    @property
-    def now(self) -> int:
-        return self.sim.now
 
     def run_for(self, duration_ms: int) -> None:
         self.sim.run_until(self.sim.now + duration_ms)
@@ -119,24 +49,3 @@ class Cluster:
         return self.sim.run_until_condition(
             condition, max_time_ms=max_time_ms
         )
-
-    # -- observability -----------------------------------------------------------
-
-    def metrics_snapshot(self) -> dict:
-        return self.metrics.snapshot(now_ms=self.sim.now)
-
-    def dashboard(self) -> str:
-        """Text snapshot of cluster-wide metrics (operator view)."""
-        return self.metrics.render_dashboard(now_ms=self.sim.now)
-
-    def export_metrics_jsonl(self, path):
-        return self.metrics.export_jsonl(path, now_ms=self.sim.now)
-
-    def export_traces_jsonl(self, path) -> None:
-        self.tracer.export_jsonl(path)
-
-    def why(self, node: Address, relation: str, row, fmt: str = "text"):
-        """Cross-node derivation DAG of ``(relation, row)`` as recorded by
-        ``node``'s ledger, stitched through every registered ledger and
-        the tracer.  Requires the node to run with ``provenance=True``."""
-        return self.provenance.why(node, relation, row, fmt=fmt)

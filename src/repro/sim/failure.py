@@ -11,8 +11,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional
 
-from .cluster import Cluster
-from .network import Address
+from ..transport.base import Address
+from ..transport.base_cluster import BaseCluster
 
 
 @dataclass(frozen=True)
@@ -53,19 +53,19 @@ class FailureSchedule:
         )
         return self
 
-    def apply(self, cluster: Cluster) -> None:
-        """Install every event onto the cluster's simulator."""
+    def apply(self, cluster: BaseCluster) -> None:
+        """Install every event onto the cluster's clock (any backend)."""
         for ev in self.crashes:
             cluster.crash_at(ev.at_ms, ev.address)
             if ev.restart_after_ms is not None:
                 cluster.restart_at(ev.at_ms + ev.restart_after_ms, ev.address)
         for ev in self.partitions:
             groups = ev.groups
-            cluster.sim.schedule_at(
+            cluster.schedule_at(
                 ev.at_ms, lambda g=groups: cluster.partition(*g)
             )
             if ev.heal_after_ms is not None:
-                cluster.sim.schedule_at(ev.at_ms + ev.heal_after_ms, cluster.heal)
+                cluster.schedule_at(ev.at_ms + ev.heal_after_ms, cluster.heal)
 
 
 def random_crash_schedule(

@@ -1,207 +1,32 @@
-"""Simulated message network.
+"""Back-compat shim: the simulated network now lives in ``repro.transport``.
 
-Models the properties that matter to the paper's experiments:
-
-* configurable per-message latency (base + seeded jitter),
-* optional message loss,
-* network partitions (groups of mutually unreachable addresses),
-* per-link FIFO ordering (TCP-like), preserved even under jitter.
-
-Messages are ``(relation, row)`` pairs: the natural unit of communication
-between Overlog runtimes, also adopted by the imperative processes so that
-both stacks run over an identical transport.
+The one-tuple-per-message ``Network`` was refactored into the pluggable
+transport layer: the contract is :class:`repro.transport.base.Transport`,
+the discrete-event implementation is
+:class:`repro.transport.sim_transport.SimTransport` (envelope batches
+instead of single tuples), and the shared accounting is
+:class:`repro.transport.base.TransportStats`.  This module keeps the
+historical import surface alive for subsystem code and external scripts.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass
-from typing import Callable, Optional
+from ..transport.base import Address, Delta, NetworkStats, TransportStats
+from ..transport.envelope import Envelope, estimate_row_size
+from ..transport.sim_transport import LatencyModel, SimTransport
 
-from ..metrics.trace import Tracer
-from .simulator import Simulator
+# Historical names: the pre-envelope network called deltas "messages" and
+# the simulated transport "Network".
+Message = Delta
+Network = SimTransport
 
-Address = str
-Message = tuple[str, tuple]  # (relation, row)
-
-
-@dataclass
-class LatencyModel:
-    """Per-message latency = base + U(0, jitter) + size/bandwidth, in ms.
-
-    ``kb_per_ms`` models link bandwidth for bulk transfers (chunk data);
-    zero disables the size-dependent term (control messages dominate).
-    """
-
-    base_ms: int = 1
-    jitter_ms: int = 2
-    kb_per_ms: float = 0.0
-
-    def sample(self, rng: random.Random, size_bytes: int = 0) -> int:
-        latency = self.base_ms
-        if self.jitter_ms > 0:
-            latency += rng.randrange(self.jitter_ms + 1)
-        if self.kb_per_ms > 0 and size_bytes > 0:
-            latency += int(size_bytes / 1024 / self.kb_per_ms)
-        return latency
-
-
-@dataclass
-class NetworkStats:
-    sent: int = 0
-    delivered: int = 0
-    dropped_loss: int = 0
-    dropped_partition: int = 0
-    dropped_dead: int = 0
-    bytes_sent: int = 0
-    remote_bytes: int = 0  # bytes that crossed machine boundaries
-
-
-class Network:
-    """Routes messages between registered handlers with simulated delay."""
-
-    def __init__(
-        self,
-        sim: Simulator,
-        latency: Optional[LatencyModel] = None,
-        loss_rate: float = 0.0,
-        seed: int = 0,
-        tracer: Optional[Tracer] = None,
-    ):
-        self.sim = sim
-        self.latency = latency or LatencyModel()
-        self.loss_rate = loss_rate
-        self.rng = random.Random(seed)
-        # Causal tracing: sends capture the tracer's active span context
-        # into the message envelope; deliveries reopen it as child spans.
-        self.tracer = tracer
-        self.stats = NetworkStats()
-        self._handlers: dict[Address, Callable[[str, tuple], None]] = {}
-        self._last_delivery: dict[tuple[Address, Address], int] = {}
-        self._partition_of: dict[Address, int] = {}
-        self._machine_of: dict[Address, int] = {}
-
-    # -- membership -----------------------------------------------------------
-
-    def register(
-        self, address: Address, handler: Callable[[str, tuple], None]
-    ) -> None:
-        self._handlers[address] = handler
-
-    def unregister(self, address: Address) -> None:
-        self._handlers.pop(address, None)
-
-    def is_registered(self, address: Address) -> bool:
-        return address in self._handlers
-
-    # -- partitions -------------------------------------------------------------
-
-    def partition(self, *groups: list[Address]) -> None:
-        """Split the network: addresses in different groups can no longer
-        communicate.  Unlisted addresses stay in group 0."""
-        self._partition_of = {}
-        for idx, group in enumerate(groups, start=1):
-            for addr in group:
-                self._partition_of[addr] = idx
-
-    def heal(self) -> None:
-        self._partition_of = {}
-
-    def can_reach(self, src: Address, dst: Address) -> bool:
-        return self._partition_of.get(src, 0) == self._partition_of.get(dst, 0)
-
-    # -- colocation ---------------------------------------------------------
-
-    def colocate(self, *groups: list[Address]) -> None:
-        """Declare address groups that share a physical machine: transfers
-        between them skip the bandwidth term (local disk, not the wire).
-        Models HDFS/MapReduce co-locating DataNodes with TaskTrackers.
-        May be called repeatedly; each group gets a fresh machine id."""
-        next_id = max(self._machine_of.values(), default=0)
-        for group in groups:
-            next_id += 1
-            for addr in group:
-                self._machine_of[addr] = next_id
-
-    def same_machine(self, a: Address, b: Address) -> bool:
-        ma = self._machine_of.get(a)
-        return ma is not None and ma == self._machine_of.get(b)
-
-    # -- sending ------------------------------------------------------------------
-
-    def send(self, src: Address, dst: Address, relation: str, row: tuple) -> None:
-        """Queue a message for delivery; may be dropped by loss/partition."""
-        size = _estimate_size(row)
-        self.stats.sent += 1
-        self.stats.bytes_sent += size
-        tracer = self.tracer
-        mid = tracer.on_send(src, dst, relation) if tracer is not None else None
-        if not self.can_reach(src, dst):
-            self.stats.dropped_partition += 1
-            if tracer is not None:
-                tracer.on_drop(mid, "partition")
-            return
-        if self.loss_rate > 0 and self.rng.random() < self.loss_rate:
-            self.stats.dropped_loss += 1
-            if tracer is not None:
-                tracer.on_drop(mid, "loss")
-            return
-        if self.same_machine(src, dst):
-            # Local transfer: loopback/disk, no wire-bandwidth term.
-            arrival = self.sim.now + self.latency.base_ms
-        else:
-            arrival = self.sim.now + self.latency.sample(self.rng, size_bytes=size)
-            self.stats.remote_bytes += size
-        # Per-link FIFO: never deliver before an earlier message on the link.
-        link = (src, dst)
-        arrival = max(arrival, self._last_delivery.get(link, 0))
-        self._last_delivery[link] = arrival
-        self.sim.schedule_at(
-            arrival, lambda: self._deliver(src, dst, relation, row, mid)
-        )
-
-    def _deliver(
-        self,
-        src: Address,
-        dst: Address,
-        relation: str,
-        row: tuple,
-        mid: Optional[int] = None,
-    ) -> None:
-        # Partition / crash checks happen again at delivery time: a message
-        # in flight when the link breaks (or the destination dies) is lost.
-        tracer = self.tracer
-        if not self.can_reach(src, dst):
-            self.stats.dropped_partition += 1
-            if tracer is not None:
-                tracer.on_drop(mid, "partition")
-            return
-        handler = self._handlers.get(dst)
-        if handler is None:
-            self.stats.dropped_dead += 1
-            if tracer is not None:
-                tracer.on_drop(mid, "dead")
-            return
-        self.stats.delivered += 1
-        if tracer is not None:
-            # The handler runs under the delivered context (child spans of
-            # the sender's), never under whatever happened to be ambient.
-            ctx = tracer.on_deliver(mid, dst, relation)
-            with tracer.activate(ctx):
-                handler(relation, row)
-        else:
-            handler(relation, row)
-
-
-def _estimate_size(row: tuple) -> int:
-    size = 8  # envelope
-    for value in row:
-        if isinstance(value, str):
-            size += len(value)
-        elif isinstance(value, bytes):
-            size += len(value)
-        elif isinstance(value, tuple):
-            size += _estimate_size(value)
-        else:
-            size += 8
-    return size
+__all__ = [
+    "Address",
+    "Envelope",
+    "LatencyModel",
+    "Message",
+    "Network",
+    "NetworkStats",
+    "TransportStats",
+    "estimate_row_size",
+]

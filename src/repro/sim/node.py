@@ -1,47 +1,61 @@
-"""Simulated processes (nodes).
+"""Processes (nodes): backend-agnostic execution units.
 
-Two kinds of node run on the simulator:
+Two kinds of node run on a cluster:
 
 * :class:`OverlogProcess` — hosts an :class:`~repro.overlog.runtime.OverlogRuntime`
-  and wires its timestep loop to the virtual clock and network.  This is
-  how every declarative component (BOOM-FS NameNode, Paxos replicas,
+  and wires its timestep loop to the cluster clock and transport.  This
+  is how every declarative component (BOOM-FS NameNode, Paxos replicas,
   BOOM-MR JobTracker) executes.
 * :class:`Process` — the imperative base class used by data-plane and
   baseline components (DataNodes, TaskTrackers, the Hadoop-style stack).
 
-Both communicate exclusively through ``(relation, row)`` messages on the
-simulated network, so declarative and imperative nodes interoperate.
+Both communicate exclusively through ``(relation, row)`` deltas shipped
+in :class:`~repro.transport.envelope.Envelope` batches, so declarative
+and imperative nodes interoperate — and both speak only the
+:class:`~repro.transport.base.Transport` contract through their cluster,
+so the same node classes run on the discrete-event simulator
+(:class:`repro.sim.cluster.Cluster`) and on the asyncio backend
+(:class:`repro.transport.asyncio_backend.AsyncCluster`) unmodified.
+
+Sends are buffered in a per-node :class:`~repro.transport.envelope.Outbox`
+and flushed once per *delivery unit* — an Overlog fixpoint, an arriving
+envelope's handler run, a timer callback — producing one envelope per
+destination (flush-on-fixpoint batching).  A ``send`` outside any such
+unit flushes immediately.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from ..metrics import MetricsRegistry, Tracer
 from ..overlog import OverlogRuntime, Program
 from ..overlog.eval import StepResult
-from .network import Address
-from .simulator import EventHandle
+from ..transport.base import Address, TimerHandle
+from ..transport.envelope import Outbox
 
 if TYPE_CHECKING:
-    from .cluster import Cluster
+    from ..transport.base_cluster import BaseCluster
 
 
 class Process:
-    """Base class for a node attached to a :class:`Cluster`."""
+    """Base class for a node attached to a cluster (any backend)."""
 
     def __init__(self, address: Address):
         self.address = address
-        self.cluster: Optional["Cluster"] = None
+        self.cluster: Optional["BaseCluster"] = None
         self.crashed = False
         # Per-node metric scope; re-registered with the cluster-wide
         # aggregator on attach (Overlog nodes swap in their runtime's
         # registry instead — see OverlogProcess).
         self.metrics = MetricsRegistry(str(address))
+        self._outbox = Outbox(address)
+        self._send_depth = 0
 
     # -- lifecycle, called by the cluster ------------------------------------
 
-    def attach(self, cluster: "Cluster") -> None:
+    def attach(self, cluster: "BaseCluster") -> None:
         self.cluster = cluster
         self._register_metrics()
 
@@ -64,34 +78,70 @@ class Process:
     def handle_message(self, relation: str, row: tuple) -> None:
         raise NotImplementedError
 
+    @contextmanager
+    def sending(self):
+        """Scope one delivery unit: sends made inside buffer into the
+        outbox and flush as batched envelopes on outermost exit."""
+        self._send_depth += 1
+        try:
+            yield
+        finally:
+            self._send_depth -= 1
+            if self._send_depth == 0:
+                self._flush_sends()
+
     def send(self, dst: Address, relation: str, row: tuple) -> None:
         assert self.cluster is not None, "process not attached"
-        self.cluster.network.send(self.address, dst, relation, tuple(row))
+        tracer = self.tracer
+        # The trace context is captured at buffer time (batching must not
+        # blur which span caused which delta); the mid rides the envelope.
+        mid = (
+            tracer.on_send(self.address, dst, relation)
+            if tracer is not None
+            else None
+        )
+        self._outbox.add(dst, relation, tuple(row), mid)
+        if self._send_depth == 0:
+            self._flush_sends()
+
+    def _flush_sends(self) -> None:
+        if self.cluster is None or not len(self._outbox):
+            return
+        transport = self.cluster.transport
+        for env in self._outbox.flush(batch=self.cluster.batching):
+            transport.send(env)
+
+    def discard_unsent(self) -> None:
+        """Crash semantics: unflushed sends are volatile state, lost."""
+        self._outbox.clear()
 
     # -- time --------------------------------------------------------------------
 
     @property
     def now(self) -> int:
         assert self.cluster is not None
-        return self.cluster.sim.now
+        return self.cluster.now
 
-    def after(self, delay_ms: int, action: Callable[[], None]) -> EventHandle:
-        """Schedule ``action`` unless this node has crashed by then."""
+    def after(self, delay_ms: int, action: Callable[[], None]) -> TimerHandle:
+        """Schedule ``action`` unless this node has crashed by then.  The
+        action runs as its own delivery unit (its sends batch per dest)."""
         assert self.cluster is not None
 
         def guarded() -> None:
             if not self.crashed:
-                action()
+                with self.sending():
+                    action()
 
-        return self.cluster.sim.schedule(delay_ms, guarded)
+        return self.cluster.schedule(delay_ms, guarded)
 
 
 class OverlogProcess(Process):
     """A node whose behaviour is an Overlog program.
 
-    The runtime's timestep loop is driven by the simulator: each arriving
-    message (or due timer) schedules a step; each step's remote sends go
-    out through the simulated network.
+    The runtime's timestep loop is driven by the cluster clock: each
+    arriving message (or due timer) schedules a step; each step's remote
+    sends are flushed through the transport as one envelope per
+    destination (flush-on-fixpoint).
 
     CPU service time is modelled by ``step_cost_ms`` (fixed cost per
     timestep) plus ``per_derivation_cost_us`` (microseconds per derived
@@ -141,7 +191,7 @@ class OverlogProcess(Process):
             self.metrics = self.runtime.metrics.registry
         self._step_pending = False
         self._busy_until = 0
-        self._timer_handle: Optional[EventHandle] = None
+        self._timer_handle: Optional[TimerHandle] = None
 
     def _make_runtime(self) -> OverlogRuntime:
         return OverlogRuntime(
@@ -157,7 +207,7 @@ class OverlogProcess(Process):
 
     # -- lifecycle --------------------------------------------------------------
 
-    def attach(self, cluster: "Cluster") -> None:
+    def attach(self, cluster: "BaseCluster") -> None:
         super().attach(cluster)
         self._register_ledger()
 
@@ -191,6 +241,7 @@ class OverlogProcess(Process):
         self._step_pending = False
         self._busy_until = 0
         self._timer_handle = None
+        self._outbox.clear()
 
     def on_crash(self) -> None:
         if self._timer_handle is not None:
@@ -201,8 +252,8 @@ class OverlogProcess(Process):
 
     def handle_message(self, relation: str, row: tuple) -> None:
         # Deliveries run under the message's span context (set by the
-        # network); remember it on the inbox tuple so the step that
-        # eventually consumes the tuple can resume the trace.
+        # cluster when unpacking the envelope); remember it on the inbox
+        # tuple so the step that eventually consumes it resumes the trace.
         tracer = self.tracer
         ctx = tracer.current if tracer is not None else ()
         self.runtime.insert(relation, row, trace=ctx)
@@ -232,7 +283,7 @@ class OverlogProcess(Process):
             return
         self._step_pending = True
         delay = max(self.step_cost_ms, self._busy_until - self.now)
-        self.cluster.sim.schedule(delay, self._run_step)
+        self.cluster.schedule(delay, self._run_step)
 
     def _run_step(self) -> None:
         self._step_pending = False
@@ -246,24 +297,27 @@ class OverlogProcess(Process):
             self._busy_until = self.now + self.step_cost_ms + cost_ms
         # The step's effects (result handling, remote sends) execute under
         # the causal context of the inbox tuples that drove the fixpoint,
-        # so traces follow requests across nodes.
+        # so traces follow requests across nodes.  The sending() scope is
+        # the fixpoint boundary: every send the step makes flushes as one
+        # envelope per destination when the scope closes.
         tracer = self.tracer
         ctx = self.runtime.last_step_ctx
-        if tracer is not None and ctx:
-            tracer.annotate(
-                ctx,
-                "step",
-                node=self.address,
-                derivations=result.derivation_count,
-            )
-            with tracer.activate(ctx):
+        with self.sending():
+            if tracer is not None and ctx:
+                tracer.annotate(
+                    ctx,
+                    "step",
+                    node=self.address,
+                    derivations=result.derivation_count,
+                )
+                with tracer.activate(ctx):
+                    self.handle_step_result(result)
+                    for dest, relation, row in result.sends:
+                        self.send(dest, relation, row)
+            else:
                 self.handle_step_result(result)
                 for dest, relation, row in result.sends:
                     self.send(dest, relation, row)
-        else:
-            self.handle_step_result(result)
-            for dest, relation, row in result.sends:
-                self.send(dest, relation, row)
         self._schedule_timer_wakeup()
         # Rules may have produced local events for the next step.
         if self.runtime.has_pending_work:
@@ -281,7 +335,7 @@ class OverlogProcess(Process):
                 return
             self._timer_handle.cancel()
         delay = max(0, next_fire - self.now)
-        self._timer_handle = self.cluster.sim.schedule(delay, self._timer_fired)
+        self._timer_handle = self.cluster.schedule(delay, self._timer_fired)
 
     def _timer_fired(self) -> None:
         self._timer_handle = None

@@ -1,0 +1,43 @@
+"""Pluggable transport layer: one Node/Network contract, many substrates.
+
+The contract (:class:`Transport`, :class:`Envelope`, :class:`TimerHandle`)
+lives in :mod:`repro.transport.base` / :mod:`repro.transport.envelope`;
+the two backends are :class:`SimTransport` (deterministic discrete-event
+time, used by :class:`repro.sim.cluster.Cluster`) and
+:class:`LocalAsyncTransport` (real asyncio concurrency over queue or TCP
+endpoints, used by :class:`AsyncCluster`).  See docs/ARCHITECTURE.md for
+the layer diagram.
+"""
+
+from .base import (
+    Address,
+    DeliverFn,
+    Delta,
+    NetworkStats,
+    TimerHandle,
+    Transport,
+    TransportStats,
+)
+from .base_cluster import BaseCluster
+from .envelope import Envelope, Outbox, estimate_delta_size, estimate_row_size
+from .sim_transport import LatencyModel, SimTransport
+from .asyncio_backend import AsyncCluster, LocalAsyncTransport
+
+__all__ = [
+    "Address",
+    "AsyncCluster",
+    "BaseCluster",
+    "DeliverFn",
+    "Delta",
+    "Envelope",
+    "LatencyModel",
+    "LocalAsyncTransport",
+    "NetworkStats",
+    "Outbox",
+    "SimTransport",
+    "TimerHandle",
+    "Transport",
+    "TransportStats",
+    "estimate_delta_size",
+    "estimate_row_size",
+]

@@ -1,0 +1,197 @@
+"""Backend-agnostic cluster: processes + observability over a Transport.
+
+:class:`BaseCluster` owns everything that is *not* substrate-specific —
+the process registry, crash/restart/partition controls, the metrics
+aggregator, the tracer and cross-node provenance — and talks to the
+substrate only through the :class:`~repro.transport.base.Transport`
+contract.  The two concrete clusters are
+:class:`repro.sim.cluster.Cluster` (deterministic discrete-event time)
+and :class:`repro.transport.asyncio_backend.AsyncCluster` (real
+concurrency); BOOM-FS, BOOM-MR, Paxos and the Hadoop baseline run
+unmodified on either.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from ..metrics import ClusterMetrics, MetricsRegistry, Tracer
+from ..provenance.why import ClusterProvenance
+from .base import Address, TimerHandle, Transport
+from .envelope import Envelope
+
+if TYPE_CHECKING:
+    from ..sim.node import Process
+
+
+class BaseCluster:
+    """A cluster of processes over one pluggable transport."""
+
+    #: Stamped into benchmark reports so A/E trajectories stay comparable.
+    backend = "base"
+
+    def __init__(self, transport: Transport, batching: bool = True):
+        # Observability: one cluster-wide metrics aggregator (every node's
+        # registry is adopted into it on attach) and one tracer driven by
+        # the transport clock (see docs/OBSERVABILITY.md).
+        self.metrics = ClusterMetrics()
+        self.tracer = Tracer(clock=lambda: self.transport.now)
+        # Cross-node provenance: nodes built with provenance=True register
+        # their derivation ledgers here, and Cluster.why() stitches
+        # derivation DAGs across them (docs/PROVENANCE.md).
+        self.provenance = ClusterProvenance(tracer=self.tracer)
+        self.transport = transport
+        transport.tracer = self.tracer
+        transport.metrics = self.metrics.adopt(MetricsRegistry("transport"))
+        #: Flush-on-fixpoint batching; False degrades to one envelope per
+        #: delta (the E4 ablation).
+        self.batching = batching
+        self.processes: dict[Address, "Process"] = {}
+
+    # -- membership -----------------------------------------------------------
+
+    def add(self, process: "Process") -> "Process":
+        if process.address in self.processes:
+            raise ValueError(f"duplicate address {process.address}")
+        self.processes[process.address] = process
+        process.attach(self)
+        self.transport.register(
+            process.address, lambda env: self._deliver_envelope(process, env)
+        )
+        with process.sending():
+            process.start()
+        return process
+
+    def get(self, address: Address) -> "Process":
+        return self.processes[address]
+
+    def addresses(self) -> list[Address]:
+        return list(self.processes)
+
+    # -- envelope plumbing ----------------------------------------------------
+
+    def _deliver_envelope(self, process: "Process", env: Envelope) -> None:
+        """Unpack an arriving envelope into per-delta handler calls, each
+        under its own reopened trace context; sends the handlers make are
+        batched and flushed once the whole envelope is consumed."""
+        tracer = self.tracer
+        with process.sending():
+            if tracer is None:
+                for relation, row, _mid in env.items():
+                    process.handle_message(relation, row)
+                return
+            for relation, row, mid in env.items():
+                # The handler runs under the delivered context (child
+                # spans of the sender's), never under whatever happened
+                # to be ambient.
+                ctx = tracer.on_deliver(mid, process.address, relation)
+                with tracer.activate(ctx):
+                    process.handle_message(relation, row)
+
+    # -- failure injection ----------------------------------------------------
+
+    def crash(self, address: Address) -> None:
+        """Fail-stop the node: it stops receiving, sending and ticking.
+        All volatile state is lost, including unflushed send buffers."""
+        process = self.processes[address]
+        if process.crashed:
+            return
+        process.crashed = True
+        process.on_crash()
+        process.discard_unsent()
+        self.transport.unregister(address)
+
+    def restart(self, address: Address) -> None:
+        """Bring a crashed node back with empty volatile state."""
+        process = self.processes[address]
+        if not process.crashed:
+            return
+        process.crashed = False
+        reset = getattr(process, "reset_for_restart", None)
+        if reset is not None:
+            reset()
+        self.transport.register(
+            address, lambda env: self._deliver_envelope(process, env)
+        )
+        with process.sending():
+            process.start()
+        on_restart = getattr(process, "on_restart", None)
+        if on_restart is not None:
+            on_restart()
+
+    def crash_at(self, time_ms: int, address: Address) -> None:
+        self.schedule_at(time_ms, lambda: self.crash(address))
+
+    def restart_at(self, time_ms: int, address: Address) -> None:
+        self.schedule_at(time_ms, lambda: self.restart(address))
+
+    def partition(self, *groups: Iterable[Address]) -> None:
+        self.transport.partition(*[list(g) for g in groups])
+
+    def heal(self) -> None:
+        self.transport.heal()
+
+    def is_up(self, address: Address) -> bool:
+        process = self.processes.get(address)
+        return process is not None and not process.crashed
+
+    # -- time -----------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        return self.transport.now
+
+    def schedule(
+        self, delay_ms: int, action: Callable[[], None]
+    ) -> TimerHandle:
+        return self.transport.call_later(delay_ms, action)
+
+    def schedule_at(
+        self, time_ms: int, action: Callable[[], None]
+    ) -> TimerHandle:
+        return self.transport.call_later(max(0, time_ms - self.now), action)
+
+    # -- running (backend-specific) -------------------------------------------
+
+    def run_for(self, duration_ms: int) -> None:
+        raise NotImplementedError
+
+    def run_until(
+        self, condition: Callable[[], bool], max_time_ms: int
+    ) -> bool:
+        """Run until ``condition()`` holds; True when it was reached."""
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Gracefully drain and release the substrate (no-op for
+        backends without background machinery)."""
+
+    # -- observability --------------------------------------------------------
+
+    @property
+    def network(self) -> Transport:
+        """Legacy alias from the pre-transport layering (stats, partition
+        checks); prefer :attr:`transport` in new code."""
+        return self.transport
+
+    def metrics_snapshot(self) -> dict:
+        return self.metrics.snapshot(now_ms=self.now)
+
+    def dashboard(self) -> str:
+        """Text snapshot of cluster-wide metrics (operator view)."""
+        return self.metrics.render_dashboard(now_ms=self.now)
+
+    def export_metrics_jsonl(self, path):
+        return self.metrics.export_jsonl(path, now_ms=self.now)
+
+    def export_traces_jsonl(self, path) -> None:
+        self.tracer.export_jsonl(path)
+
+    def why(self, node: Address, relation: str, row, fmt: str = "text"):
+        """Cross-node derivation DAG of ``(relation, row)`` as recorded by
+        ``node``'s ledger, stitched through every registered ledger and
+        the tracer.  Requires the node to run with ``provenance=True``."""
+        return self.provenance.why(node, relation, row, fmt=fmt)
+
+
+__all__ = ["BaseCluster"]

@@ -80,11 +80,52 @@ class TestNetworkAccounting:
         cluster = make_cluster(2)
         node = cluster.get("n0")
         node.runtime  # overlog process
-        cluster.network.send("n0", "n1", "x", (1,))
-        cluster.network.send("n0", "nowhere", "x", (2,))
+        cluster.network.send_row("n0", "n1", "x", (1,))
+        cluster.network.send_row("n0", "nowhere", "x", (2,))
         cluster.run_for(10)
         stats = cluster.network.stats
         assert stats.sent == 2
         assert stats.delivered == 1
         assert stats.dropped_dead == 1
         assert stats.bytes_sent > 0
+        # Envelope-level accounting rides along (satellite: bytes AND
+        # envelopes, not just messages).
+        assert stats.envelopes_sent == 2
+        assert stats.envelopes_delivered == 1
+        assert stats.deltas_dropped == 1
+
+    def test_inflight_envelope_lost_across_partition(self):
+        # Sent before the partition, still in flight when it lands:
+        # dropped at delivery time.
+        cluster = make_cluster(2)
+        cluster.network.latency = LatencyModel(base_ms=20, jitter_ms=0)
+        cluster.network.send_row("n0", "n1", "x", (1,))
+        cluster.schedule_at(5, lambda: cluster.partition(["n0"], ["n1"]))
+        cluster.run_for(50)
+        stats = cluster.network.stats
+        assert stats.dropped_partition == 1
+        assert stats.delivered == 0
+
+    def test_inflight_envelope_survives_heal(self):
+        # In flight across a partition that heals before arrival: delivered.
+        cluster = make_cluster(2)
+        cluster.network.latency = LatencyModel(base_ms=20, jitter_ms=0)
+        cluster.network.send_row("n0", "n1", "x", (1,))
+        cluster.schedule_at(5, lambda: cluster.partition(["n0"], ["n1"]))
+        cluster.schedule_at(10, cluster.heal)
+        cluster.run_for(50)
+        stats = cluster.network.stats
+        assert stats.dropped_partition == 0
+        assert stats.delivered == 1
+
+    def test_partition_heal_schedule_preserves_inflight_semantics(self):
+        # Same semantics driven through FailureSchedule (the envelope path).
+        cluster = make_cluster(3)
+        cluster.network.latency = LatencyModel(base_ms=30, jitter_ms=0)
+        FailureSchedule().partition(
+            5, ("n0",), ("n1", "n2"), heal_after_ms=10
+        ).apply(cluster)
+        cluster.network.send_row("n0", "n1", "x", (1,))  # heals before landing
+        cluster.run_for(100)
+        assert cluster.network.stats.delivered == 1
+        assert cluster.network.stats.dropped_partition == 0

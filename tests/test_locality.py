@@ -20,11 +20,11 @@ class TestColocation:
         net = Network(sim, latency=LatencyModel(1, 0, kb_per_ms=1))
         net.colocate(["a", "b"])
         got = []
-        net.register("b", lambda rel, row: got.append(sim.now))
-        net.register("c", lambda rel, row: got.append(sim.now))
+        net.register("b", lambda env: got.append(sim.now))
+        net.register("c", lambda env: got.append(sim.now))
         payload = ("x" * 100_000,)  # ~100KB -> ~97ms on the wire
-        net.send("a", "b", "data", payload)  # local
-        net.send("a", "c", "data", payload)  # remote
+        net.send_row("a", "b", "data", payload)  # local
+        net.send_row("a", "c", "data", payload)  # remote
         sim.run_until(1000)
         local_time, remote_time = got[0], got[1]
         assert local_time <= 2

@@ -117,7 +117,14 @@ class TestClusterMetrics:
         client.mkdir("/a")
         client.write("/a/f", b"x" * 100)
         snap = cluster.metrics_snapshot()
-        assert set(snap["nodes"]) == {"master", "dn0", "dn1", "client"}
+        # "transport" is the wire-level scope (envelopes/bytes/stalls).
+        assert set(snap["nodes"]) == {
+            "master",
+            "dn0",
+            "dn1",
+            "client",
+            "transport",
+        }
         totals = snap["cluster"]["counters"]
         assert totals["fs.requests.mkdir"] == 1
         assert totals["fs.responses.ok"] >= 2

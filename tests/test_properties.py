@@ -207,9 +207,12 @@ class TestNetworkProperties:
         sim = Simulator()
         net = Network(sim, latency=LatencyModel(1, 30), seed=seed)
         got = []
-        net.register("dst", lambda rel, row: got.append(row[0]))
+        net.register(
+            "dst",
+            lambda env: got.extend(row[0] for _, row, _ in env.items()),
+        )
         for i in range(count):
-            net.send("src", "dst", "m", (i,))
+            net.send_row("src", "dst", "m", (i,))
         sim.run_until(10_000)
         assert got == list(range(count))
 

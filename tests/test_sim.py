@@ -72,25 +72,30 @@ class TestNetwork:
         sim = Simulator()
         net = Network(sim, **kw)
         inbox = []
-        net.register("b", lambda rel, row: inbox.append((sim.now, rel, row)))
+        net.register(
+            "b",
+            lambda env: inbox.extend(
+                (sim.now, rel, row) for rel, row, _ in env.items()
+            ),
+        )
         return sim, net, inbox
 
     def test_delivery_with_latency(self):
         sim, net, inbox = self.make(latency=LatencyModel(base_ms=5, jitter_ms=0))
-        net.send("a", "b", "ping", (1,))
+        net.send_row("a", "b", "ping", (1,))
         sim.run_until(10)
         assert inbox == [(5, "ping", (1,))]
 
     def test_per_link_fifo_under_jitter(self):
         sim, net, inbox = self.make(latency=LatencyModel(base_ms=1, jitter_ms=50))
         for i in range(20):
-            net.send("a", "b", "seq", (i,))
+            net.send_row("a", "b", "seq", (i,))
         sim.run_until(1000)
         assert [row[0] for _, _, row in inbox] == list(range(20))
 
     def test_loss(self):
         sim, net, inbox = self.make(loss_rate=1.0)
-        net.send("a", "b", "ping", (1,))
+        net.send_row("a", "b", "ping", (1,))
         sim.run_until(100)
         assert inbox == []
         assert net.stats.dropped_loss == 1
@@ -98,21 +103,33 @@ class TestNetwork:
     def test_partition_blocks_and_heal_restores(self):
         sim, net, inbox = self.make(latency=LatencyModel(1, 0))
         net.partition(["a"], ["b"])
-        net.send("a", "b", "ping", (1,))
+        net.send_row("a", "b", "ping", (1,))
         sim.run_until(10)
         assert inbox == []
         net.heal()
-        net.send("a", "b", "ping", (2,))
+        net.send_row("a", "b", "ping", (2,))
         sim.run_until(20)
         assert [row for _, _, row in inbox] == [(2,)]
 
     def test_in_flight_message_lost_when_dest_unregisters(self):
         sim, net, inbox = self.make(latency=LatencyModel(base_ms=10, jitter_ms=0))
-        net.send("a", "b", "ping", (1,))
+        net.send_row("a", "b", "ping", (1,))
         sim.schedule(5, lambda: net.unregister("b"))
         sim.run_until(20)
         assert inbox == []
         assert net.stats.dropped_dead == 1
+
+    def test_envelope_batch_delivered_atomically(self):
+        from repro.sim import Envelope
+
+        sim, net, inbox = self.make(latency=LatencyModel(base_ms=3, jitter_ms=0))
+        env = Envelope.make("a", "b", [("x", (1,)), ("y", (2,))])
+        net.send(env)
+        sim.run_until(10)
+        assert inbox == [(3, "x", (1,)), (3, "y", (2,))]
+        assert net.stats.envelopes_sent == 1
+        assert net.stats.sent == 2
+        assert net.stats.bytes_sent == env.size_bytes
 
 
 ECHO_PROGRAM = """
