@@ -86,7 +86,7 @@ def test_a4_replication_durability(benchmark):
     results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
     report = build_report(results)
     write_report("a4_replication_durability", report)
-    write_json_report("a4_replication_durability", results)
+    write_json_report("a4_replication_durability", results, seed=1)
     assert results[1] < FILES  # unreplicated loses data
     assert results[3] >= results[1]
     assert results[3] == FILES  # r=3 survives this schedule

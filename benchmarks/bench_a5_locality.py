@@ -73,7 +73,7 @@ def test_a5_locality(benchmark):
     results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
     report = build_report(results)
     write_report("a5_locality", report)
-    write_json_report("a5_locality", results)
+    write_json_report("a5_locality", results, seed=21)
     on, off = results["locality on"], results["locality off"]
     assert on["local_maps"] > off["local_maps"] or on["remote_mb"] < off["remote_mb"]
     assert on["remote_mb"] < off["remote_mb"]

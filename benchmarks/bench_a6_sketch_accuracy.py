@@ -1,0 +1,196 @@
+"""A6 — Sketch accuracy and memory: the telemetry plane's error budget.
+
+The telemetry plane (docs/TELEMETRY.md) answers quantile and
+cardinality questions from mergeable sketches instead of raw samples,
+so its numbers are only as good as the sketches.  This bench measures,
+at 10^5 observations per run:
+
+* t-digest rank error at p50/p99/p999 across uniform, exponential and
+  lognormal distributions — and again after a 10-way shard merge (how
+  digests actually arrive at the monitor);
+* HyperLogLog relative error at 10^3..10^5 distinct items, plus exact
+  merge-order invariance over shuffled shard orders;
+* memory: payload size as the item count grows 100x — the sub-linear
+  guarantee that makes metrics-as-tuples shippable at all.
+
+Gates (fail the job): t-digest rank error <= 1%, HLL error <= 2% at
+10^5, payload growth far below input growth.
+"""
+
+import random
+
+from harness import write_json_report, write_report
+
+from repro.analysis import render_table
+from repro.sketches import HyperLogLog, TDigest
+
+N = 100_000
+SEED = 7
+
+DISTRIBUTIONS = {
+    "uniform": lambda rng: rng.random() * 1000,
+    "exponential": lambda rng: rng.expovariate(1 / 50),
+    "lognormal": lambda rng: rng.lognormvariate(3.0, 1.2),
+}
+
+QUANTILES = (0.5, 0.99, 0.999)
+
+
+def _rank_error(samples_sorted, estimate, q) -> float:
+    """|empirical rank of the estimate - q|: the t-digest error metric
+    (value error is meaningless across distributions)."""
+    import bisect
+
+    rank = bisect.bisect_right(samples_sorted, estimate) / len(samples_sorted)
+    return abs(rank - q)
+
+
+def run_tdigest():
+    results = {}
+    for name, draw in DISTRIBUTIONS.items():
+        rng = random.Random(SEED)
+        samples = [draw(rng) for _ in range(N)]
+        whole = TDigest()
+        whole.extend(samples)
+        # 10-way sharding: how per-node digests reach the monitor.
+        shards = [TDigest() for _ in range(10)]
+        for i, v in enumerate(samples):
+            shards[i % 10].add(v)
+        merged = TDigest()
+        for shard in shards:
+            merged.merge(shard)
+        samples.sort()
+        per_q = {}
+        for q in QUANTILES:
+            per_q[q] = {
+                "whole": _rank_error(samples, whole.quantile(q), q),
+                "merged": _rank_error(samples, merged.quantile(q), q),
+            }
+        results[name] = {
+            "rank_errors": per_q,
+            "centroids": len(whole),
+            "payload_bytes": len(repr(whole.to_payload())),
+        }
+    return results
+
+
+def run_hll():
+    results = {}
+    for n in (1_000, 10_000, 100_000):
+        hll = HyperLogLog()
+        hll.extend(f"item-{i}" for i in range(n))
+        estimate = hll.estimate()
+        results[n] = {
+            "estimate": estimate,
+            "rel_error": abs(estimate - n) / n,
+            "payload_bytes": len(repr(hll.to_payload())),
+        }
+    # Merge-order invariance: shards folded in shuffled orders must give
+    # bit-identical registers (register-wise max is commutative).
+    shards = []
+    for s in range(8):
+        h = HyperLogLog()
+        h.extend(f"item-{i}" for i in range(s * 12_500, (s + 1) * 12_500))
+        shards.append(h)
+    estimates = set()
+    rng = random.Random(SEED)
+    for _ in range(5):
+        order = list(range(8))
+        rng.shuffle(order)
+        merged = HyperLogLog()
+        for idx in order:
+            merged.merge(shards[idx])
+        estimates.add(merged.estimate())
+    results["merge_order_estimates"] = sorted(estimates)
+    return results
+
+
+def run_memory():
+    """Payload growth vs input growth for both sketches."""
+    rows = {}
+    rng = random.Random(SEED)
+    for n in (1_000, 10_000, 100_000):
+        d = TDigest()
+        d.extend(rng.random() for _ in range(n))
+        h = HyperLogLog()
+        h.extend(f"k{i}" for i in range(n))
+        rows[n] = {
+            "tdigest_bytes": len(repr(d.to_payload())),
+            "hll_bytes": len(repr(h.to_payload())),
+        }
+    return rows
+
+
+def run_experiment():
+    return {
+        "tdigest": run_tdigest(),
+        "hll": run_hll(),
+        "memory": run_memory(),
+    }
+
+
+def build_report(results) -> str:
+    td_rows = []
+    for name, r in results["tdigest"].items():
+        for q, errs in r["rank_errors"].items():
+            td_rows.append(
+                [
+                    name,
+                    f"p{q * 100:g}",
+                    f"{errs['whole'] * 100:.3f}%",
+                    f"{errs['merged'] * 100:.3f}%",
+                    r["centroids"],
+                ]
+            )
+    td = render_table(
+        ["distribution", "quantile", "rank err", "10-shard err", "centroids"],
+        td_rows,
+        title=f"A6 -- t-digest rank error ({N} samples, compression 200)",
+    )
+    hll_rows = [
+        [n, r["estimate"], f"{r['rel_error'] * 100:.2f}%", r["payload_bytes"]]
+        for n, r in results["hll"].items()
+        if isinstance(n, int)
+    ]
+    hll = render_table(
+        ["distinct items", "estimate", "error", "payload bytes"],
+        hll_rows,
+        title="A6 -- HyperLogLog cardinality (precision 12)",
+    )
+    mem_rows = [
+        [n, r["tdigest_bytes"], r["hll_bytes"]]
+        for n, r in results["memory"].items()
+    ]
+    mem = render_table(
+        ["items", "t-digest bytes", "HLL bytes"],
+        mem_rows,
+        title="A6 -- payload size vs item count (sub-linear gate)",
+    )
+    orders = results["hll"]["merge_order_estimates"]
+    return "\n\n".join([td, hll, mem]) + (
+        f"\nHLL shard-merge estimates over shuffled orders: {orders}\n"
+        "(one value = exactly order-invariant; telemetry rollups converge\n"
+        "to identical tables on any backend's delivery order)."
+    )
+
+
+def test_a6_sketch_accuracy(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report = build_report(results)
+    write_report("a6_sketch_accuracy", report)
+    write_json_report("a6_sketch_accuracy", results, seed=SEED)
+    # Gate: <= 1% rank error at every quantile, whole and shard-merged.
+    for name, r in results["tdigest"].items():
+        for q, errs in r["rank_errors"].items():
+            assert errs["whole"] <= 0.01, (name, q, errs)
+            assert errs["merged"] <= 0.01, (name, q, errs)
+    # Gate: <= 2% cardinality error at 10^5 distinct items.
+    assert results["hll"][100_000]["rel_error"] <= 0.02
+    # Gate: merging in any order gives one identical estimate.
+    assert len(results["hll"]["merge_order_estimates"]) == 1
+    # Gate: memory is sub-linear — 100x the items must cost far less
+    # than 100x the payload (t-digest is capped by compression, HLL by
+    # its register file).
+    mem = results["memory"]
+    assert mem[100_000]["tdigest_bytes"] < 10 * mem[1_000]["tdigest_bytes"]
+    assert mem[100_000]["hll_bytes"] < 10 * mem[1_000]["hll_bytes"]

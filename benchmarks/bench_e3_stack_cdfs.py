@@ -88,6 +88,7 @@ def test_e3_stack_cdfs(benchmark):
             }
             for name, result in results
         },
+        seed=SETUP["seed"],
     )
     durations = [r.duration_ms for _, r in results]
     assert max(durations) / min(durations) < 1.5

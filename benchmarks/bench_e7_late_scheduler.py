@@ -85,7 +85,7 @@ def test_e7_late_scheduler(benchmark):
     results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
     report = build_report(results)
     write_report("e7_late_scheduler", report)
-    write_json_report("e7_late_scheduler", results)
+    write_json_report("e7_late_scheduler", results, seed=SETUP["seed"])
     assert results["late"]["duration"] < results["fifo"]["duration"] * 0.8
     assert results["late"]["backups"] >= 1
     assert results["fifo"]["backups"] == 0

@@ -14,10 +14,11 @@ compares metaprogrammed tracing against runtime instrumentation.
 
 import time
 
+from bench_e4_metadata_throughput import TOTAL_OPS, MetadataLoadGen
 from harness import write_json_report, write_report
 
 from repro.analysis import render_table
-from repro.boomfs import master_program
+from repro.boomfs import BoomFSMaster, master_program
 from repro.monitoring import (
     TraceCollector,
     add_rule_tracing,
@@ -25,6 +26,7 @@ from repro.monitoring import (
     with_invariants,
 )
 from repro.overlog import OverlogRuntime
+from repro.sim import Cluster, LatencyModel
 
 OPS = 120
 
@@ -72,6 +74,66 @@ def run_one(program, with_collector=False, metrics=False, **runtime_kwargs):
         "trace_events": len(collector.events) if collector else 0,
         "metric_points": metric_points,
     }
+
+
+#: 4x the E4 op count: long enough (~500 sim-ms) that several exports
+#: fire inside the timed window and per-export cost amortizes the way a
+#: production cadence would against continuous load.
+TELEM_OPS = 4 * TOTAL_OPS
+
+
+def _run_telemetry_once(telemetry: bool):
+    cluster = Cluster(latency=LatencyModel(1, 1))
+    cluster.add(BoomFSMaster("master", replication=2))
+    if telemetry:
+        cluster.enable_telemetry(interval_ms=100)
+    gen = cluster.add(
+        MetadataLoadGen("loadgen", "master", total_ops=TELEM_OPS)
+    )
+    wall_start = time.perf_counter()
+    ok = cluster.run_until(lambda: gen.done, max_time_ms=600_000)
+    wall = time.perf_counter() - wall_start
+    assert ok, "load generator did not finish"
+    if telemetry:
+        # Drain in-flight telemetry envelopes (untimed) so the
+        # monitor-sample column reflects the whole run.
+        cluster.run_for(200)
+    monitor = cluster.monitor
+    return wall, {
+        "sim_ms": gen.finished_ms - gen.started_ms,
+        "monitor_samples": len(monitor.samples()) if monitor else 0,
+        "monitor_alarms": len(monitor.alarms()) if monitor else 0,
+    }
+
+
+def run_telemetry_overhead(repeats: int = 5):
+    """The E4 metadata workload end-to-end, telemetry plane on vs off.
+
+    The two modes alternate within each repetition (clock-frequency
+    drift on a shared host would otherwise bias whichever mode runs
+    last) and wall time is best-of-N: the sim is deterministic, so the
+    minimum is the least-noise estimate of actual CPU cost."""
+    walls = {False: [], True: []}
+    info = {}
+    for _ in range(repeats):
+        for telemetry in (False, True):
+            wall, detail = _run_telemetry_once(telemetry)
+            walls[telemetry].append(wall)
+            info[telemetry] = detail
+    results = {}
+    for telemetry, label in ((False, "telemetry off"), (True, "telemetry on")):
+        best = min(walls[telemetry])
+        results[label] = {
+            "wall_ms": best * 1000,
+            "wall_us_per_op": best * 1e6 / TELEM_OPS,
+            **info[telemetry],
+        }
+    results["overhead_pct"] = (
+        results["telemetry on"]["wall_ms"]
+        / results["telemetry off"]["wall_ms"]
+        - 1
+    ) * 100
+    return results
 
 
 def run_experiment():
@@ -128,11 +190,59 @@ def build_report(results) -> str:
     )
 
 
+def build_telemetry_report(results) -> str:
+    rows = [
+        [
+            name,
+            round(r["wall_ms"], 1),
+            round(r["wall_us_per_op"], 1),
+            r["monitor_samples"],
+        ]
+        for name, r in results.items()
+        if isinstance(r, dict)
+    ]
+    table = render_table(
+        ["mode", "host ms", "us/op", "monitor samples"],
+        rows,
+        title=(
+            f"E8b -- telemetry-plane overhead "
+            f"({TELEM_OPS} NameNode metadata ops, export every 100 sim-ms)"
+        ),
+    )
+    return table + (
+        f"\noverhead: {results['overhead_pct']:+.1f}% — the export loop\n"
+        "snapshots each registry into telemetry tuples on a timer, so the\n"
+        "cost scales with metric count x export rate, not with request\n"
+        "rate (docs/TELEMETRY.md)."
+    )
+
+
 def test_e8_monitoring_overhead(benchmark):
     results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    report = build_report(results)
+    telemetry = run_telemetry_overhead()
+    report = (
+        build_report(results) + "\n\n" + build_telemetry_report(telemetry)
+    )
     write_report("e8_monitoring_overhead", report)
-    write_json_report("e8_monitoring_overhead", results)
+    write_json_report(
+        "e8_monitoring_overhead",
+        {"rewrites": results, "telemetry": telemetry},
+        mode="matrix",
+    )
+    # End-to-end telemetry overhead gate: shipping metrics-as-tuples to
+    # the monitor must cost < 10% on the E4 metadata workload.
+    assert telemetry["overhead_pct"] < 10.0, telemetry
+    assert telemetry["telemetry on"]["monitor_samples"] > 0
+    # Virtual time is essentially untouched: export timers interleave
+    # with step scheduling at equal timestamps, so completion may shift
+    # by a tick or two, but telemetry must not slow the workload itself.
+    assert (
+        abs(
+            telemetry["telemetry on"]["sim_ms"]
+            - telemetry["telemetry off"]["sim_ms"]
+        )
+        <= 5
+    )
     assert results["rule-traced"]["trace_events"] > 0
     assert (
         results["rule-traced"]["derivations"] > results["plain"]["derivations"]

@@ -109,6 +109,7 @@ def test_e9_paxos(benchmark):
     write_json_report(
         "e9_paxos",
         {f"{size} / {loss}": r for (size, loss), r in results.items()},
+        seed=(0, 5),
     )
     clean3 = results[("3 replicas", "0% loss")]
     lossy3 = results[("3 replicas", "5% loss")]

@@ -38,17 +38,33 @@ def _jsonable(value):
     return repr(value)
 
 
-def write_json_report(name: str, payload, backend: str = "sim") -> Path:
+def write_json_report(
+    name: str,
+    payload,
+    backend: str = "sim",
+    seed=0,
+    mode: str = "metrics",
+) -> Path:
     """Write the machine-readable twin of a text report:
     ``benchmarks/reports/<name>.json``.
 
     Every report records which transport backend produced it (``sim`` by
-    default — pass ``cluster.backend`` when a bench runs elsewhere), so
-    numbers from different substrates are never compared silently.
+    default — pass ``cluster.backend`` when a bench runs elsewhere), the
+    seed(s) the run used, and which observability planes were live
+    (``mode``: ``"off"`` — metrics disabled, ``"metrics"`` — the
+    always-on registry, ``"metrics+telemetry"`` — the export loop too,
+    ``"matrix"`` — the rows themselves compare modes), so numbers from
+    different substrates or instrumentation levels are never compared
+    silently.
     """
     REPORTS_DIR.mkdir(exist_ok=True)
     path = REPORTS_DIR / f"{name}.json"
-    document = {"_backend": backend, "results": _jsonable(payload)}
+    document = {
+        "_backend": backend,
+        "_mode": mode,
+        "_seed": _jsonable(seed),
+        "results": _jsonable(payload),
+    }
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     print(f"[json report written to {path}]")
     return path

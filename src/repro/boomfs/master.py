@@ -110,6 +110,26 @@ class BoomFSMaster(OverlogProcess):
             "request",
             lambda row: requests.counter(f"fs.requests.{row[2]}").inc(),
         )
+        # Replication health as a lazy collector gauge: chunks with fewer
+        # live replicas than repfactor, computed from the runtime's own
+        # tables only when a snapshot (or telemetry export) asks.  The
+        # telemetry monitor's BOOMFS_ALERTS pack alarms on any positive
+        # sample (docs/TELEMETRY.md).
+        self.metrics.add_collector(self._collect_replication_health)
+
+    def _collect_replication_health(self, snap: dict) -> None:
+        rt = self.runtime
+        factor_rows = rt.rows("repfactor")
+        factor = factor_rows[0][0] if factor_rows else self.replication
+        replicas = {cid: n for cid, n in rt.rows("rep_cnt")}
+        under = sum(
+            1
+            for cid, _fid, _idx in rt.rows("fchunk")
+            if replicas.get(cid, 0) < factor
+        )
+        gauge = self.metrics.gauge("fs.chunks.under_replicated")
+        gauge.set(under)
+        snap["gauges"]["fs.chunks.under_replicated"] = under
 
     def handle_step_result(self, result) -> None:
         if self.runtime.metrics is None:

@@ -18,10 +18,12 @@ from .registry import (
     DEFAULT_BUCKETS,
     ClusterMetrics,
     Counter,
+    Distinct,
     Gauge,
     Histogram,
     MetricsRegistry,
     NodeMetrics,
+    Percentile,
     TimeWindow,
 )
 from .trace import Span, SpanRef, Tracer
@@ -30,10 +32,12 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "ClusterMetrics",
     "Counter",
+    "Distinct",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NodeMetrics",
+    "Percentile",
     "Span",
     "SpanRef",
     "TimeWindow",

@@ -10,7 +10,10 @@ benchmarks measure the cost).
 Three scopes:
 
 * :class:`MetricsRegistry` — one per node (one per Overlog runtime or
-  imperative process); named counters/gauges/histograms/windows.
+  imperative process); named counters/gauges/histograms/windows plus the
+  sketch-backed :class:`Percentile` and :class:`Distinct` primitives
+  whose payloads the telemetry plane ships cluster-wide
+  (docs/TELEMETRY.md).
 * :class:`NodeMetrics` — the Overlog runtime's adapter: records one
   timestep's evaluator effects (derivation deltas, per-stratum semi-naive
   iteration counts, relation cardinalities) into its registry and surfaces
@@ -24,6 +27,8 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from typing import Any, Callable, Optional
+
+from ..sketches import HyperLogLog, TDigest
 
 DEFAULT_BUCKETS = (0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
 
@@ -56,25 +61,44 @@ class Histogram:
     """Fixed-bound bucketed distribution (counts per upper bound).
 
     Bounds are inclusive upper edges; observations above the last bound
-    land in the overflow bucket.
+    land in the overflow bucket.  The fixed buckets are kept for export
+    compatibility (dashboards and historical JSONL diff cleanly), but
+    quantile queries go through an internal t-digest — linear-scaled
+    buckets are a poor fit for latency tails, where p999 may sit three
+    orders of magnitude past the median.
     """
 
-    __slots__ = ("bounds", "bucket_counts", "count", "total")
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "digest")
 
     def __init__(self, bounds: tuple = DEFAULT_BUCKETS):
         self.bounds = tuple(bounds)
         self.bucket_counts = [0] * (len(self.bounds) + 1)
         self.count = 0
         self.total = 0
+        self.digest = TDigest()
 
     def observe(self, value: float) -> None:
         self.bucket_counts[bisect_left(self.bounds, value)] += 1
         self.count += 1
         self.total += value
+        self.digest.add(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Value at quantile ``q`` in [0, 1], answered by the t-digest
+        (bounded *rank* error at any scale, unlike the fixed buckets)."""
+        return self.digest.quantile(q)
+
+    def percentile(self, p: float) -> float:
+        """Value at percentile ``p`` in [0, 100]."""
+        return self.digest.percentile(p)
+
+    def payload(self) -> tuple:
+        """The digest as a literal-safe tuple (telemetry wire form)."""
+        return self.digest.to_payload()
 
     def snapshot(self) -> dict:
         buckets = {
@@ -84,12 +108,84 @@ class Histogram:
         }
         if self.bucket_counts[-1]:
             buckets["overflow"] = self.bucket_counts[-1]
-        return {
+        snap = {
             "count": self.count,
             "sum": self.total,
             "mean": round(self.mean, 3),
             "buckets": buckets,
         }
+        if self.count:
+            snap["p50"] = round(self.quantile(0.50), 3)
+            snap["p99"] = round(self.quantile(0.99), 3)
+        return snap
+
+
+class Percentile:
+    """A quantile sketch metric: observe values, query percentiles.
+
+    Backed by a mergeable :class:`~repro.sketches.tdigest.TDigest`, so
+    the telemetry plane can ship it as a tuple payload and the monitor
+    node can fold per-node distributions into cluster-wide rollups with
+    the ``percentile<>`` Overlog aggregate (docs/TELEMETRY.md)."""
+
+    __slots__ = ("digest",)
+
+    def __init__(self, compression: int = 200):
+        self.digest = TDigest(compression)
+
+    def observe(self, value: float) -> None:
+        self.digest.add(value)
+
+    @property
+    def count(self) -> float:
+        return self.digest.count
+
+    def quantile(self, q: float) -> float:
+        return self.digest.quantile(q)
+
+    def percentile(self, p: float) -> float:
+        return self.digest.percentile(p)
+
+    def payload(self) -> tuple:
+        """Literal-safe wire form (merged cluster-wide by the monitor)."""
+        return self.digest.to_payload()
+
+    def snapshot(self) -> dict:
+        if self.digest.count == 0:
+            return {"count": 0}
+        return {
+            "count": int(self.digest.count),
+            "p50": round(self.quantile(0.50), 3),
+            "p99": round(self.quantile(0.99), 3),
+            "p999": round(self.quantile(0.999), 3),
+        }
+
+
+class Distinct:
+    """An approximate distinct counter (HyperLogLog-backed).
+
+    Memory stays O(2^precision) however many values are added; the
+    payload merges register-wise across nodes, so cluster-wide distinct
+    counts come from the ``count_distinct_approx<>`` Overlog aggregate
+    without ever shipping the values themselves."""
+
+    __slots__ = ("hll",)
+
+    def __init__(self, precision: int = 12):
+        self.hll = HyperLogLog(precision)
+
+    def add(self, value: Any) -> None:
+        self.hll.add(value)
+
+    def estimate(self) -> int:
+        return self.hll.estimate()
+
+    def payload(self) -> tuple:
+        """Literal-safe wire form (merged cluster-wide by the monitor)."""
+        return self.hll.to_payload()
+
+    def snapshot(self) -> dict:
+        return {"estimate": self.estimate()}
 
 
 class TimeWindow:
@@ -148,6 +244,8 @@ class MetricsRegistry:
         self.counters: dict[str, Counter] = {}
         self.gauges: dict[str, Gauge] = {}
         self.histograms: dict[str, Histogram] = {}
+        self.percentiles: dict[str, Percentile] = {}
+        self.distincts: dict[str, Distinct] = {}
         self.windows: dict[str, TimeWindow] = {}
         self._collectors: list[Callable[[dict], None]] = []
 
@@ -170,6 +268,18 @@ class MetricsRegistry:
         if h is None:
             h = self.histograms[name] = Histogram(bounds)
         return h
+
+    def percentile(self, name: str, compression: int = 200) -> Percentile:
+        p = self.percentiles.get(name)
+        if p is None:
+            p = self.percentiles[name] = Percentile(compression)
+        return p
+
+    def distinct(self, name: str, precision: int = 12) -> Distinct:
+        d = self.distincts.get(name)
+        if d is None:
+            d = self.distincts[name] = Distinct(precision)
+        return d
 
     def window(
         self, name: str, width_ms: int = 1000, keep: int = 64
@@ -194,6 +304,14 @@ class MetricsRegistry:
             "histograms": {
                 name: h.snapshot()
                 for name, h in sorted(self.histograms.items())
+            },
+            "percentiles": {
+                name: p.snapshot()
+                for name, p in sorted(self.percentiles.items())
+            },
+            "distincts": {
+                name: d.snapshot()
+                for name, d in sorted(self.distincts.items())
             },
             "windows": {
                 name: w.snapshot() for name, w in sorted(self.windows.items())

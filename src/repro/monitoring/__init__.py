@@ -2,13 +2,30 @@
 
 Programs are relations over rules, so instrumentation (rule tracing,
 relation tracing) and consistency checking (invariant rules) are program
-rewrites, not code changes.
+rewrites, not code changes.  The runtime-level half of the story — the
+telemetry plane that ships per-node metrics to a monitor node whose
+health logic is itself Overlog — lives in :mod:`repro.telemetry`; its
+alert rule packs are re-exported here so the whole declarative
+monitoring surface imports from one place.
 """
 
-from .bloomunit import DeclarativeTest, TestResult
+from ..telemetry.alerts import (
+    BOOMFS_ALERTS,
+    DEFAULT_ALERT_PACKS,
+    PAXOS_ALERTS,
+    TRANSPORT_ALERTS,
+)
+from ..telemetry.monitor import ALARM_RELATION, MonitorProcess
+from .bloomunit import (
+    EXPECT_RELATION,
+    FAILED_RELATION,
+    DeclarativeTest,
+    TestResult,
+)
 from .invariants import (
     BOOMFS_INVARIANTS,
     PAXOS_INVARIANTS,
+    VIOLATION_RELATION,
     InvariantMonitor,
     boomfs_invariants_program,
     paxos_invariants_program,
@@ -22,13 +39,22 @@ from .rewrite import (
 )
 
 __all__ = [
+    "ALARM_RELATION",
+    "BOOMFS_ALERTS",
     "BOOMFS_INVARIANTS",
+    "DEFAULT_ALERT_PACKS",
     "DeclarativeTest",
-    "TestResult",
+    "EXPECT_RELATION",
+    "FAILED_RELATION",
     "InvariantMonitor",
+    "MonitorProcess",
+    "PAXOS_ALERTS",
     "PAXOS_INVARIANTS",
     "TRACE_RELATION",
+    "TRANSPORT_ALERTS",
+    "TestResult",
     "TraceCollector",
+    "VIOLATION_RELATION",
     "add_relation_tracing",
     "add_rule_tracing",
     "boomfs_invariants_program",

@@ -21,7 +21,19 @@ from dataclasses import dataclass, replace
 from functools import cached_property
 from typing import Optional, Union
 
-AGGREGATE_FUNCS = ("count", "sum", "min", "max", "avg", "list")
+AGGREGATE_FUNCS = (
+    "count",
+    "sum",
+    "min",
+    "max",
+    "avg",
+    "list",
+    # Sketch-backed approximate aggregates (docs/TELEMETRY.md):
+    # percentile<X> folds numbers/t-digest payloads into a merged digest
+    # payload; count_distinct_approx<X> estimates distinct X via HLL.
+    "percentile",
+    "count_distinct_approx",
+)
 
 
 # ---------------------------------------------------------------------------

@@ -84,6 +84,41 @@ def f_match(pattern: str, text: str) -> bool:
     return re.search(pattern, text) is not None
 
 
+def f_quantile(payload: tuple, p: float) -> float:
+    """Value at percentile ``p`` (0-100) of a t-digest payload — the
+    column type the ``percentile<>`` aggregate produces.  This is how
+    monitor rules turn a folded cluster digest into p50/p99/p999 numbers
+    (docs/TELEMETRY.md)."""
+    from ..sketches import TDigest, is_tdigest_payload
+
+    if not is_tdigest_payload(payload):
+        raise EvaluationError(f"f_quantile: not a t-digest payload: {payload!r}")
+    return TDigest.from_payload(payload).percentile(p)
+
+
+def f_sketch_count(payload: tuple) -> int:
+    """Number of observations folded into a t-digest payload."""
+    from ..sketches import TDigest, is_tdigest_payload
+
+    if not is_tdigest_payload(payload):
+        raise EvaluationError(
+            f"f_sketch_count: not a t-digest payload: {payload!r}"
+        )
+    return int(TDigest.from_payload(payload).count)
+
+
+def f_distinct_estimate(payload: tuple) -> int:
+    """Distinct-count estimate of an HLL payload (a ``Distinct`` metric
+    shipped by the telemetry exporter)."""
+    from ..sketches import HyperLogLog, is_hll_payload
+
+    if not is_hll_payload(payload):
+        raise EvaluationError(
+            f"f_distinct_estimate: not an HLL payload: {payload!r}"
+        )
+    return HyperLogLog.from_payload(payload).estimate()
+
+
 DEFAULT_FUNCTIONS: dict[str, Callable[..., Any]] = {
     # strings / paths
     "f_concat_path": f_concat_path,
@@ -114,6 +149,10 @@ DEFAULT_FUNCTIONS: dict[str, Callable[..., Any]] = {
     "f_floor": lambda v: math.floor(v),
     "f_ceil": lambda v: math.ceil(v),
     "f_pow": lambda a, b: a**b,
+    # sketches (telemetry payloads — docs/TELEMETRY.md)
+    "f_quantile": f_quantile,
+    "f_sketch_count": f_sketch_count,
+    "f_distinct_estimate": f_distinct_estimate,
     # misc
     "f_hash": _stable_hash,
     "f_hashmod": lambda v, m: _stable_hash(v) % m,

@@ -17,7 +17,9 @@ Disambiguation conventions (as in P2):
 * builtin function names begin with ``f_``; any other ``ident(`` in a body
   is a predicate atom,
 * aggregate head arguments are ``count<V>``, ``sum<V>``, ``min<V>``,
-  ``max<V>``, ``avg<V>`` (``count<*>`` counts rows per group),
+  ``max<V>``, ``avg<V>``, ``list<V>`` plus the sketch aggregates
+  ``percentile<V>`` and ``count_distinct_approx<V>`` (``count<*>``
+  counts rows per group),
 * a rule may be given an explicit name by prefixing it with an identifier;
   unnamed rules receive ``<program>_r<N>``.
 """

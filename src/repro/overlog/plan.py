@@ -731,6 +731,24 @@ def aggregate(func: str, values: list[Any]) -> Any:
             return tuple(sorted(values))
         except TypeError:
             return tuple(sorted(values, key=_sort_key))
+    # Sketch aggregates: both folds canonicalize their input order
+    # internally, so the result is identical whatever order the group's
+    # deltas arrived in — the property the sim/asyncio telemetry
+    # differential tests depend on (docs/TELEMETRY.md).
+    if func == "percentile":
+        from ..sketches import fold_percentile
+
+        try:
+            return fold_percentile(values)
+        except (TypeError, ValueError) as exc:
+            raise EvaluationError(f"percentile<>: {exc}") from exc
+    if func == "count_distinct_approx":
+        from ..sketches import fold_count_distinct
+
+        try:
+            return fold_count_distinct(values)
+        except (TypeError, ValueError) as exc:
+            raise EvaluationError(f"count_distinct_approx<>: {exc}") from exc
     raise EvaluationError(f"unknown aggregate {func}")
 
 

@@ -115,6 +115,15 @@ class PaxosReplica(OverlogProcess):
         rt.watch(
             "role", lambda row: metrics.counter("paxos.role_changes").inc()
         )
+        # Leader liveness for the telemetry plane: 1 on the leader, 0
+        # elsewhere; the monitor's PAXOS_ALERTS pack alarms when the
+        # cluster-wide sum of reported samples is zero (no live leader).
+        leader_gauge = metrics.gauge("paxos.is_leader")
+        leader_gauge.set(0)
+        rt.watch(
+            "role",
+            lambda row: leader_gauge.set(1 if row[1] == "leader" else 0),
+        )
 
     def on_crash(self) -> None:
         # Persist acceptor and learner state ("fsync on crash" is a

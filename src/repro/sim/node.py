@@ -52,6 +52,12 @@ class Process:
         self.metrics = MetricsRegistry(str(address))
         self._outbox = Outbox(address)
         self._send_depth = 0
+        # Telemetry export loop (docs/TELEMETRY.md), armed by
+        # Cluster.enable_telemetry: where to ship registry snapshots
+        # and how often (None = explicit publish_telemetry() only).
+        self._telemetry_dst: Optional[Address] = None
+        self._telemetry_interval: Optional[int] = None
+        self._telemetry_gen = 0
 
     # -- lifecycle, called by the cluster ------------------------------------
 
@@ -133,6 +139,57 @@ class Process:
                     action()
 
         return self.cluster.schedule(delay_ms, guarded)
+
+    # -- telemetry export (docs/TELEMETRY.md) ----------------------------------
+
+    def enable_telemetry(
+        self, monitor: Address, interval_ms: Optional[int] = None
+    ) -> None:
+        """Start shipping this node's registry to ``monitor`` as
+        ``telemetry`` tuples: every ``interval_ms`` when set, and on any
+        explicit :meth:`publish_telemetry` call.  Called by the cluster
+        on enable, on membership changes and after restarts; each call
+        supersedes any previous export loop (a crash kills the timer
+        chain, so the restart path must be able to arm a fresh one)."""
+        self._telemetry_dst = monitor
+        self._telemetry_interval = interval_ms
+        self._telemetry_gen += 1
+        if interval_ms is not None:
+            self._arm_telemetry(self._telemetry_gen)
+
+    def disable_telemetry(self) -> None:
+        self._telemetry_dst = None
+        self._telemetry_interval = None
+        self._telemetry_gen += 1
+
+    def _arm_telemetry(self, gen: int) -> None:
+        def tick() -> None:
+            if gen != self._telemetry_gen or self._telemetry_interval is None:
+                return  # superseded by a newer enable/disable
+            self.publish_telemetry()
+            self._arm_telemetry(gen)
+
+        self.after(self._telemetry_interval, tick)
+
+    def publish_telemetry(self, clock: Optional[int] = None) -> int:
+        """Snapshot the registry into ``telemetry(node, metric, kind,
+        payload, clock)`` tuples and ship them to the monitor over the
+        ordinary envelope transport.  ``clock`` defaults to transport
+        time; deterministic tests pass an explicit round number so both
+        backends emit identical tuples.  Returns the tuple count."""
+        if self._telemetry_dst is None or self.crashed:
+            return 0
+        from ..telemetry.export import telemetry_rows
+
+        rows = telemetry_rows(
+            self.metrics,
+            node=str(self.address),
+            clock=self.now if clock is None else clock,
+        )
+        with self.sending():
+            for row in rows:
+                self.send(self._telemetry_dst, "telemetry", row)
+        return len(rows)
 
 
 class OverlogProcess(Process):

@@ -1,0 +1,180 @@
+"""HyperLogLog: mergeable approximate distinct counting.
+
+Counterpart to :class:`~repro.sketches.tdigest.TDigest` for the
+``count_distinct_approx<>`` aggregate and the registry's ``Distinct``
+primitive.  Same design constraints: register-wise-max merge (exactly
+order-invariant), deterministic hashing (md5-based, stable across
+processes — ``hash()`` is salted per interpreter), and a literal-safe
+tuple payload for the envelope wire codec.
+
+With ``precision`` p the sketch keeps ``m = 2**p`` registers and the
+standard error is ``1.04/sqrt(m)``; the default p=12 (4096 registers,
+~1.6% expected error, 4KB dense) sits under the 2% gate benchmark A6
+asserts at 10^5 distinct items.  Registers stay in a sparse dict until
+a quarter are occupied, so memory is sub-linear in distinct items and
+small sets pay almost nothing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Any, Iterable
+
+HLL_TAG = "hll"
+
+DEFAULT_PRECISION = 12
+
+_HASH_BITS = 64
+
+
+def sketch_hash(value: Any) -> int:
+    """64-bit hash, stable across processes and runs.
+
+    Same construction as :func:`repro.overlog.functions.stable_hash`
+    (md5 of ``repr``), duplicated here so the sketches package stays
+    dependency-free — the Overlog layer imports *us* for the aggregate
+    folds, not the other way around.
+    """
+    digest = hashlib.md5(repr(value).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _alpha(m: int) -> float:
+    if m == 16:
+        return 0.673
+    if m == 32:
+        return 0.697
+    if m == 64:
+        return 0.709
+    return 0.7213 / (1.0 + 1.079 / m)
+
+
+class HyperLogLog:
+    """Approximate distinct counter over arbitrary (reprable) values."""
+
+    __slots__ = ("precision", "_m", "_sparse", "_dense")
+
+    def __init__(self, precision: int = DEFAULT_PRECISION):
+        if not 4 <= precision <= 16:
+            raise ValueError("precision must be in [4, 16]")
+        self.precision = precision
+        self._m = 1 << precision
+        # Sparse until a quarter of the registers are touched: small
+        # cardinalities cost O(distinct), never O(m).
+        self._sparse: dict[int, int] | None = {}
+        self._dense: list[int] | None = None
+
+    # -- ingestion -------------------------------------------------------------
+
+    def add(self, value: Any) -> None:
+        h = sketch_hash(value)
+        idx = h >> (_HASH_BITS - self.precision)
+        rest = h & ((1 << (_HASH_BITS - self.precision)) - 1)
+        # Rank: position of the leftmost 1-bit in the remaining bits.
+        rank = (_HASH_BITS - self.precision) - rest.bit_length() + 1
+        self._set(idx, rank)
+
+    def extend(self, values: Iterable[Any]) -> None:
+        for v in values:
+            self.add(v)
+
+    def _set(self, idx: int, rank: int) -> None:
+        if self._dense is not None:
+            if rank > self._dense[idx]:
+                self._dense[idx] = rank
+            return
+        assert self._sparse is not None
+        if rank > self._sparse.get(idx, 0):
+            self._sparse[idx] = rank
+        if len(self._sparse) > self._m // 4:
+            self._densify()
+
+    def _densify(self) -> None:
+        assert self._sparse is not None
+        dense = [0] * self._m
+        for idx, rank in self._sparse.items():
+            dense[idx] = rank
+        self._dense = dense
+        self._sparse = None
+
+    def merge(self, other: "HyperLogLog") -> None:
+        """Register-wise max: exactly merge-order invariant."""
+        if other.precision != self.precision:
+            raise ValueError(
+                "cannot merge HLLs of different precision "
+                f"({self.precision} vs {other.precision})"
+            )
+        for idx, rank in other._registers():
+            self._set(idx, rank)
+
+    def _registers(self) -> Iterable[tuple[int, int]]:
+        if self._dense is not None:
+            return (
+                (idx, rank)
+                for idx, rank in enumerate(self._dense)
+                if rank
+            )
+        assert self._sparse is not None
+        return self._sparse.items()
+
+    # -- queries ---------------------------------------------------------------
+
+    def estimate(self) -> int:
+        """Approximate number of distinct values added."""
+        m = self._m
+        occupied = 0
+        inv_sum = float(m)  # zeros contribute 2^0 = 1 each
+        for _idx, rank in self._registers():
+            occupied += 1
+            inv_sum += 2.0 ** (-rank) - 1.0
+        zeros = m - occupied
+        raw = _alpha(m) * m * m / inv_sum
+        if raw <= 2.5 * m and zeros:
+            # Small-range correction: linear counting on empty registers.
+            return round(m * math.log(m / zeros))
+        return round(raw)
+
+    # -- wire form ---------------------------------------------------------------
+
+    def to_payload(self) -> tuple:
+        """Literal-safe tuple: sparse registers as sorted (idx, rank)
+        pairs, dense as the full register tuple."""
+        if self._dense is not None:
+            return (HLL_TAG, self.precision, "dense", tuple(self._dense))
+        assert self._sparse is not None
+        return (
+            HLL_TAG,
+            self.precision,
+            "sparse",
+            tuple(sorted(self._sparse.items())),
+        )
+
+    @staticmethod
+    def from_payload(payload: tuple) -> "HyperLogLog":
+        if not is_hll_payload(payload):
+            raise ValueError(f"not an HLL payload: {payload!r}")
+        _tag, precision, mode, registers = payload
+        hll = HyperLogLog(precision)
+        if mode == "dense":
+            hll._sparse = None
+            hll._dense = list(registers)
+        else:
+            for idx, rank in registers:
+                hll._set(idx, rank)
+        return hll
+
+    def __len__(self) -> int:
+        """Occupied register count (the memory driver)."""
+        return sum(1 for _ in self._registers())
+
+    def __repr__(self) -> str:
+        return (
+            f"HyperLogLog(p={self.precision}, estimate={self.estimate()})"
+        )
+
+
+def is_hll_payload(value: object) -> bool:
+    return (
+        isinstance(value, tuple) and len(value) == 4 and value[0] == HLL_TAG
+    )

@@ -1,0 +1,60 @@
+"""The meta-circular telemetry plane (docs/TELEMETRY.md).
+
+Metrics-as-tuples: every node periodically snapshots its
+:class:`~repro.metrics.registry.MetricsRegistry` into
+``telemetry(node, metric, kind, payload, clock)`` tuples and ships them
+over the ordinary :class:`~repro.transport.envelope.Envelope` transport
+to a :class:`MonitorProcess`, whose aggregation and health logic is —
+in the paper's spirit — written in Overlog itself.  Distribution and
+cardinality metrics travel as mergeable sketch payloads
+(:mod:`repro.sketches`), so cluster-wide rollups cost O(nodes), not
+O(observations).
+
+Wiring lives on the cluster surface::
+
+    monitor = cluster.enable_telemetry(interval_ms=1000)
+    ...
+    print(cluster.telemetry_dashboard())
+    cluster.export_telemetry_jsonl("telemetry.jsonl")
+    cluster.why("monitor", "alarm", alarm_row)   # provenance-traceable
+"""
+
+from .alerts import (
+    BOOMFS_ALERTS,
+    DEFAULT_ALERT_PACKS,
+    PAXOS_ALERTS,
+    TRANSPORT_ALERTS,
+)
+from .export import (
+    render_telemetry_dashboard,
+    telemetry_jsonl,
+    telemetry_rows,
+    trace_latency_digest,
+    trace_latency_rows,
+    write_telemetry_jsonl,
+)
+from .monitor import (
+    ALARM_RELATION,
+    MONITOR_PROGRAM,
+    MonitorProcess,
+    TELEMETRY_RELATION,
+    monitor_program,
+)
+
+__all__ = [
+    "ALARM_RELATION",
+    "BOOMFS_ALERTS",
+    "DEFAULT_ALERT_PACKS",
+    "MONITOR_PROGRAM",
+    "MonitorProcess",
+    "PAXOS_ALERTS",
+    "TELEMETRY_RELATION",
+    "TRANSPORT_ALERTS",
+    "monitor_program",
+    "render_telemetry_dashboard",
+    "telemetry_jsonl",
+    "telemetry_rows",
+    "trace_latency_digest",
+    "trace_latency_rows",
+    "write_telemetry_jsonl",
+]

@@ -1,0 +1,78 @@
+"""Alert rule packs: health predicates as plain Overlog source.
+
+Alerts are rules over the monitor's ``metric_sample`` table whose heads
+derive ``alarm(name, subject, detail)`` tuples — and whose *delete*
+twins retract the alarm when the condition clears, so the alarm table
+is always the live set of problems, not a log (the monitor's
+``alert_log`` keeps the firing history).
+
+Because an alarm is an ordinary derived tuple, the PR 3 provenance
+ledger explains it: ``monitor.why_alarm(row)`` walks from the alarm
+through the rule to the exact ``telemetry`` inputs — which node sent
+which metric with which payload — the declarative version of "why is
+this light red?".
+
+Each pack is a string so deployments compose them (and their own) via
+:func:`repro.telemetry.monitor.monitor_program`'s ``alert_packs``.
+"""
+
+from __future__ import annotations
+
+#: BOOM-FS: the master exports ``fs.chunks.under_replicated`` (a lazy
+#: collector gauge counting chunks with fewer replicas than repfactor);
+#: any positive sample is an alarm, keyed by the reporting master so
+#: partitioned deployments alarm per-partition.
+BOOMFS_ALERTS = """
+program boomfs_alerts;
+
+fsa1 alarm("under-replicated", Node, N) :-
+        metric_sample(Node, "fs.chunks.under_replicated", "gauge", N, _),
+        N > 0;
+
+fsa2 delete alarm("under-replicated", Node, D) :-
+        alarm("under-replicated", Node, D),
+        metric_sample(Node, "fs.chunks.under_replicated", "gauge", 0, _);
+"""
+
+#: Transport: the backends increment ``transport.stalled_link.SRC->DST``
+#: whenever a bounded-queue send blocks (backpressure).  Stalls are
+#: monotonic counters, so the alarm names the link and sticks — a link
+#: that ever stalled deserves an operator's eye.
+TRANSPORT_ALERTS = """
+program transport_alerts;
+
+tra1 alarm("stalled-link", Metric, N) :-
+        metric_sample(_, Metric, "counter", N, _),
+        f_startswith(Metric, "transport.stalled_link."),
+        N > 0;
+"""
+
+#: Paxos: every replica exports a ``paxos.is_leader`` gauge (1 on the
+#: leader, 0 elsewhere).  The cluster-wide sum being zero — *after* at
+#: least one replica has reported — means no live leader.  The empty
+#: aggregate produces no ``paxos_leader_count`` row, so the alarm
+#: cannot fire before any Paxos telemetry arrives.
+PAXOS_ALERTS = """
+program paxos_alerts;
+
+define(paxos_leader_count, keys(0), {Int, Float});
+
+pxa1 paxos_leader_count(0, sum<V>) :-
+        metric_sample(_, "paxos.is_leader", "gauge", V, _);
+
+pxa2 alarm("paxos-no-leader", "cluster", S) :-
+        paxos_leader_count(0, S), S == 0;
+
+pxa3 delete alarm("paxos-no-leader", "cluster", D) :-
+        alarm("paxos-no-leader", "cluster", D),
+        paxos_leader_count(0, S), S > 0;
+"""
+
+DEFAULT_ALERT_PACKS = (BOOMFS_ALERTS, TRANSPORT_ALERTS, PAXOS_ALERTS)
+
+__all__ = [
+    "BOOMFS_ALERTS",
+    "DEFAULT_ALERT_PACKS",
+    "PAXOS_ALERTS",
+    "TRANSPORT_ALERTS",
+]

@@ -13,7 +13,7 @@ unmodified on either.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 from ..metrics import ClusterMetrics, MetricsRegistry, Tracer
 from ..provenance.why import ClusterProvenance
@@ -47,6 +47,10 @@ class BaseCluster:
         #: delta (the E4 ablation).
         self.batching = batching
         self.processes: dict[Address, "Process"] = {}
+        # Telemetry plane (docs/TELEMETRY.md): set by enable_telemetry;
+        # holds (monitor address, interval, transport/trace export flags)
+        # so late-added and restarted nodes get wired automatically.
+        self._telemetry: Optional[dict] = None
 
     # -- membership -----------------------------------------------------------
 
@@ -60,6 +64,7 @@ class BaseCluster:
         )
         with process.sending():
             process.start()
+        self._wire_telemetry(process)
         return process
 
     def get(self, address: Address) -> "Process":
@@ -115,6 +120,9 @@ class BaseCluster:
         )
         with process.sending():
             process.start()
+        # A crash kills the node's telemetry timer chain with the rest
+        # of its volatile state; re-arm it like any other bootstrap.
+        self._wire_telemetry(process)
         on_restart = getattr(process, "on_restart", None)
         if on_restart is not None:
             on_restart()
@@ -192,6 +200,116 @@ class BaseCluster:
         ``node``'s ledger, stitched through every registered ledger and
         the tracer.  Requires the node to run with ``provenance=True``."""
         return self.provenance.why(node, relation, row, fmt=fmt)
+
+    # -- telemetry plane (docs/TELEMETRY.md) -----------------------------------
+
+    def enable_telemetry(
+        self,
+        monitor: Address = "monitor",
+        interval_ms: Optional[int] = 1000,
+        include_transport: bool = True,
+        include_traces: bool = True,
+        alert_packs: Optional[Iterable[str]] = None,
+        extra_source: Optional[str] = None,
+    ):
+        """Turn the telemetry plane on: every node (current and future)
+        ships its registry to ``monitor`` as ``telemetry`` tuples every
+        ``interval_ms``; a :class:`~repro.telemetry.monitor.MonitorProcess`
+        is created at that address unless one is already a member.
+
+        ``include_transport`` also exports the transport-scope registry
+        (backpressure stalls, envelope counters) — it has no owning node,
+        so the cluster injects it at the monitor directly.
+        ``include_traces`` folds PR 1 trace spans into an end-to-end
+        ``request.latency_ms`` percentile payload the same way.
+        ``interval_ms=None`` arms no timers: tests drive deterministic
+        rounds via ``publish_telemetry(clock=...)`` themselves.
+        """
+        from ..telemetry.alerts import DEFAULT_ALERT_PACKS
+        from ..telemetry.monitor import MonitorProcess
+
+        packs = DEFAULT_ALERT_PACKS if alert_packs is None else tuple(alert_packs)
+        if monitor not in self.processes:
+            self.add(
+                MonitorProcess(
+                    monitor, alert_packs=packs, extra_source=extra_source
+                )
+            )
+        self._telemetry = {
+            "monitor": monitor,
+            "interval_ms": interval_ms,
+            "include_transport": include_transport,
+            "include_traces": include_traces,
+        }
+        for process in list(self.processes.values()):
+            self._wire_telemetry(process)
+        if interval_ms is not None and (include_transport or include_traces):
+            self.schedule(interval_ms, self._cluster_telemetry_tick)
+        return self.processes[monitor]
+
+    def _wire_telemetry(self, process: "Process") -> None:
+        cfg = self._telemetry
+        if cfg is None or process.address == cfg["monitor"]:
+            return
+        process.enable_telemetry(cfg["monitor"], cfg["interval_ms"])
+
+    def _cluster_telemetry_tick(self) -> None:
+        cfg = self._telemetry
+        if cfg is None or cfg["interval_ms"] is None:
+            return
+        self.publish_cluster_telemetry()
+        self.schedule(cfg["interval_ms"], self._cluster_telemetry_tick)
+
+    def publish_cluster_telemetry(self, clock: Optional[int] = None) -> int:
+        """Export the cluster-owned telemetry sources — the transport
+        registry and the trace-latency fold — by injecting at the
+        monitor (neither has an owning process to send from).  Returns
+        the tuple count."""
+        cfg = self._telemetry
+        if cfg is None:
+            return 0
+        monitor = self.processes.get(cfg["monitor"])
+        if monitor is None or monitor.crashed:
+            return 0
+        from ..telemetry.export import telemetry_rows, trace_latency_rows
+
+        clock = self.now if clock is None else clock
+        rows: list[tuple] = []
+        if cfg["include_transport"]:
+            registry = self.metrics.registries.get("transport")
+            if registry is not None:
+                rows.extend(
+                    telemetry_rows(registry, node="transport", clock=clock)
+                )
+        if cfg["include_traces"]:
+            rows.extend(trace_latency_rows(self.tracer, clock=clock))
+        for row in rows:
+            monitor.inject("telemetry", row)
+        return len(rows)
+
+    @property
+    def monitor(self):
+        """The telemetry monitor process, if the plane is enabled."""
+        cfg = self._telemetry
+        return self.processes.get(cfg["monitor"]) if cfg else None
+
+    def telemetry_dashboard(self) -> str:
+        """The monitor node's live view: alarms, cluster rollups,
+        per-node reporting status (deterministic text)."""
+        monitor = self.monitor
+        if monitor is None:
+            return "(telemetry disabled — call enable_telemetry first)"
+        from ..telemetry.export import render_telemetry_dashboard
+
+        return render_telemetry_dashboard(monitor, now_ms=self.now)
+
+    def export_telemetry_jsonl(self, path):
+        monitor = self.monitor
+        if monitor is None:
+            raise RuntimeError("telemetry disabled — call enable_telemetry")
+        from ..telemetry.export import write_telemetry_jsonl
+
+        return write_telemetry_jsonl(monitor, path, now_ms=self.now)
 
 
 __all__ = ["BaseCluster"]

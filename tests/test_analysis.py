@@ -48,6 +48,38 @@ class TestCdf:
         assert len(series) <= 12
         assert series[-1][1] == 1.0
 
+    def test_percentile_single_sample(self):
+        # every percentile of one sample is that sample
+        for p in (0, 1, 50, 99, 100):
+            assert percentile([7.5], p) == 7.5
+
+    def test_percentile_negative_p_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1, 2, 3], -1)
+
+    def test_percentile_duplicate_heavy_series(self):
+        # nearest-rank on a 90%-duplicates series: the median and p90
+        # land on the duplicated value, the tail percentiles escape it
+        values = [5] * 90 + list(range(91, 101))
+        assert percentile(values, 50) == 5
+        assert percentile(values, 90) == 5
+        assert percentile(values, 91) == 92
+        assert percentile(values, 95) == 96
+        assert percentile(values, 100) == 100
+
+    def test_percentile_all_duplicates(self):
+        assert percentile([3] * 50, 99) == 3
+        assert summarize([3] * 50)["p95"] == 3
+
+    def test_percentile_unsorted_input(self):
+        values = [9, 1, 5, 3, 7]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 50) == 5
+        assert percentile(values, 100) == 9
+
+    def test_summarize_empty(self):
+        assert summarize([]) == {}
+
 
 class TestLoc:
     def test_count_python_lines_skips_comments_and_docstrings(self, tmp_path):
