@@ -11,9 +11,16 @@ Reports are the artifacts EXPERIMENTS.md cites.
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
 
 REPORTS_DIR = Path(__file__).resolve().parent / "reports"
+
+# Import time is as close to bench-process start as the harness can see:
+# every JSON report stamps its wall-clock age against this, so CI trends
+# catch a bench whose runtime quietly balloons even when its numbers stay
+# healthy.
+_T0 = time.perf_counter()
 
 
 def write_report(name: str, text: str) -> Path:
@@ -63,6 +70,7 @@ def write_json_report(
         "_backend": backend,
         "_mode": mode,
         "_seed": _jsonable(seed),
+        "_wall_s": round(time.perf_counter() - _T0, 3),
         "results": _jsonable(payload),
     }
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 
@@ -15,7 +16,15 @@ def empirical_cdf(values: Sequence[float]) -> list[tuple[float, float]]:
 
 
 def percentile(values: Sequence[float], p: float) -> float:
-    """The p-th percentile (0..100) by nearest-rank."""
+    """The p-th percentile (0..100) by true nearest-rank:
+    ``rank = ceil(p/100 * n)``, the smallest value with at least ``p``
+    percent of the sample at or below it.
+
+    This matches the convention :meth:`repro.sketches.tdigest.TDigest`
+    converges to (an earlier version used ``round(x + 0.5) - 1``, whose
+    round-half-to-even behaviour overshot by one rank whenever
+    ``p/100 * n`` landed on ``.5``).
+    """
     if not values:
         raise ValueError("percentile of empty sequence")
     if not 0 <= p <= 100:
@@ -23,12 +32,14 @@ def percentile(values: Sequence[float], p: float) -> float:
     ordered = sorted(values)
     if p == 0:
         return ordered[0]
-    rank = max(1, round(p / 100 * len(ordered) + 0.5) - 1)
-    return ordered[min(rank, len(ordered) - 1)]
+    # The epsilon absorbs float noise in p/100*n (99.9% of 1000 samples
+    # is 999.0000000000001, which must stay rank 999, not 1000).
+    rank = math.ceil(p / 100 * len(ordered) - 1e-9)
+    return ordered[min(rank, len(ordered)) - 1]
 
 
 def summarize(values: Sequence[float]) -> dict[str, float]:
-    """min / p25 / median / p75 / p95 / max / mean."""
+    """min / p25 / median / p75 / p95 / p99 / p999 / max / mean."""
     if not values:
         return {}
     return {
@@ -37,6 +48,8 @@ def summarize(values: Sequence[float]) -> dict[str, float]:
         "p50": percentile(values, 50),
         "p75": percentile(values, 75),
         "p95": percentile(values, 95),
+        "p99": percentile(values, 99),
+        "p999": percentile(values, 99.9),
         "max": max(values),
         "mean": sum(values) / len(values),
     }
@@ -59,19 +72,29 @@ def cdf_series(
 def render_ascii_cdf(
     series: dict[str, Sequence[float]], width: int = 60, title: str = ""
 ) -> str:
-    """Render one or more CDFs as an ASCII chart (fraction rows 0..1)."""
+    """Render one or more CDFs as an ASCII chart (fraction rows 0..1).
+
+    Degenerate series render sensibly: bars are anchored at the sample
+    minimum (so all-equal or all-zero series show empty bars instead of
+    a full-width wall) and negative values cannot produce negative bar
+    widths — every bar is clamped to ``[0, width]``.
+    """
     lines = []
     if title:
         lines.append(title)
     all_values = [v for vs in series.values() for v in vs]
     if not all_values:
         return title or ""
-    vmax = max(all_values) or 1
+    vmin = min(min(all_values), 0.0)
+    span = max(all_values) - vmin or 1
     for name, values in series.items():
+        if not values:
+            continue
         cdf = empirical_cdf(values)
         lines.append(f"  {name}")
         for frac_target in (0.25, 0.5, 0.75, 0.9, 1.0):
             crossing = next((v for v, f in cdf if f >= frac_target), cdf[-1][0])
-            bar = "#" * int(crossing / vmax * width)
+            filled = int((crossing - vmin) / span * width)
+            bar = "#" * max(0, min(width, filled))
             lines.append(f"    p{int(frac_target*100):3d} |{bar:<{width}}| {crossing:.0f}")
     return "\n".join(lines)

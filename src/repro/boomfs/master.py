@@ -192,3 +192,14 @@ class BoomFSMaster(OverlogProcess):
         from ..provenance.why import UNKNOWN
 
         return self.runtime.why_not("fqpath", (path, UNKNOWN), fmt=fmt)
+
+    # -- latency debugging (docs/OBSERVABILITY.md) ---------------------------
+
+    def why_slow(self, trace_id: str, fmt: str = "text"):
+        """Critical-path latency attribution of one traced request that
+        crossed this master — *why did this op take so long?* — the
+        time-domain sibling of :meth:`why_path`.  Delegates to the
+        cluster's tracer, so it requires the master to be attached."""
+        if self.cluster is None:
+            return "(not attached to a cluster — no tracer)"
+        return self.cluster.latency_report(trace_id, fmt=fmt)

@@ -1,0 +1,31 @@
+"""Request-level latency accounting (docs/OBSERVABILITY.md).
+
+Two complementary instruments over the tracing plane:
+
+* :mod:`~repro.latency.accounting` — critical-path extraction: where a
+  traced request's wall time went (rule compute, outbox batching wait,
+  backpressure stall, network transit, timer wait), per node and per rule.
+* :mod:`~repro.latency.recorder` — a per-node flight recorder that dumps
+  a deterministic JSONL post-mortem of recent activity on crash or alarm.
+"""
+
+from .accounting import (
+    CATEGORIES,
+    LatencyReport,
+    Segment,
+    critical_path,
+    latency_reports,
+    render_category_summary,
+)
+from .recorder import DEFAULT_CAPACITY, FlightRecorder
+
+__all__ = [
+    "CATEGORIES",
+    "DEFAULT_CAPACITY",
+    "FlightRecorder",
+    "LatencyReport",
+    "Segment",
+    "critical_path",
+    "latency_reports",
+    "render_category_summary",
+]

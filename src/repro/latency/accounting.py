@@ -1,0 +1,365 @@
+"""Critical-path latency accounting over trace span trees.
+
+A span tree (:mod:`repro.metrics.trace`) says *where a request went*;
+this module says *where its time went*.  Given a trace, it extracts the
+**critical path** — the chain of spans from the trace root to the last
+event recorded anywhere in the trace — and partitions the trace's
+end-to-end duration into attributed segments:
+
+========  =====================================================
+category  meaning
+========  =====================================================
+compute   rule evaluation at a node: the gap from a delivery (or
+          the previous event in the span) to the fixpoint step
+          that consumed it, including modelled CPU service time
+          (``step_cost_ms`` / ``per_derivation_cost_us``)
+batch     outbox batching wait: a delta buffered by ``send()``
+          waiting for its delivery unit to close and flush
+          (``send`` -> ``xmit`` on the same span)
+stall     backpressure stall: the sender blocked on a full
+          bounded queue (``stall_begin`` -> ``stall_end``)
+network   wire transit: ``xmit`` -> ``recv`` minus any stalls
+          (includes receive-queue wait on the asyncio backend)
+timer     a traced tuple parked until a timer woke its node
+          (the gap before a timer-triggered step)
+other     anything the accountant could not classify — the
+          coverage honesty term, asserted small in benchmarks
+========  =====================================================
+
+Every timestamp comes from the transport clock, so on the simulator the
+attribution is exact and deterministic; on the asyncio backend it is
+real measured time.  Because the timeline partitions ``end - begin``
+completely, the categories always sum to the trace's wall time —
+``coverage`` reports the non-``other`` fraction.
+
+Compute segments additionally attribute to *rules*: step annotations
+carry per-rule fire counts, and each compute gap is split across the
+rules that fired in proportion to their firings.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..metrics.trace import Tracer
+
+#: Attribution categories, in render order.
+CATEGORIES = ("compute", "batch", "stall", "network", "timer", "other")
+
+
+@dataclass
+class Segment:
+    """One attributed slice of the critical path."""
+
+    start_ms: int
+    end_ms: int
+    category: str
+    node: str
+    detail: str = ""
+
+    @property
+    def duration_ms(self) -> int:
+        return self.end_ms - self.start_ms
+
+
+@dataclass
+class LatencyReport:
+    """Where one traced request's time went."""
+
+    trace_id: str
+    name: str
+    begin_ms: int
+    end_ms: int
+    segments: list[Segment] = field(default_factory=list)
+    by_category: dict[str, int] = field(default_factory=dict)
+    by_node: dict[str, dict[str, int]] = field(default_factory=dict)
+    by_rule: dict[str, float] = field(default_factory=dict)
+    hops: int = 0
+
+    @property
+    def total_ms(self) -> int:
+        return self.end_ms - self.begin_ms
+
+    @property
+    def attributed_ms(self) -> int:
+        """Milliseconds attributed to a *named* category (not other)."""
+        return sum(
+            v for cat, v in self.by_category.items() if cat != "other"
+        )
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the trace's wall time attributed to a named
+        category (1.0 for a fully-explained trace)."""
+        if self.total_ms == 0:
+            return 1.0
+        return self.attributed_ms / self.total_ms
+
+    def render_text(self) -> str:
+        lines = [
+            f"critical path of {self.trace_id} ({self.name!r}): "
+            f"{self.total_ms} ms over {self.hops} hop(s), "
+            f"{self.coverage * 100:.1f}% attributed"
+        ]
+        for seg in self.segments:
+            if seg.duration_ms == 0:
+                continue
+            lines.append(
+                f"  {seg.start_ms:>8} +{seg.duration_ms:<6} "
+                f"{seg.category:<8} {seg.node:<20} {seg.detail}"
+            )
+        lines.append("  by category:")
+        for cat in CATEGORIES:
+            ms = self.by_category.get(cat, 0)
+            if not ms and cat != "other":
+                continue
+            pct = (ms / self.total_ms * 100) if self.total_ms else 0.0
+            lines.append(f"    {cat:<8} {ms:>8} ms  {pct:5.1f}%")
+        if self.by_rule:
+            lines.append("  compute by rule:")
+            ranked = sorted(
+                self.by_rule.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+            for rule, ms in ranked:
+                lines.append(f"    {rule:<24} {ms:8.2f} ms")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "trace": self.trace_id,
+            "name": self.name,
+            "begin_ms": self.begin_ms,
+            "end_ms": self.end_ms,
+            "total_ms": self.total_ms,
+            "hops": self.hops,
+            "coverage": round(self.coverage, 4),
+            "by_category": {
+                cat: self.by_category.get(cat, 0) for cat in CATEGORIES
+            },
+            "by_node": self.by_node,
+            "by_rule": {
+                rule: round(ms, 3) for rule, ms in sorted(self.by_rule.items())
+            },
+            "segments": [
+                {
+                    "start_ms": s.start_ms,
+                    "end_ms": s.end_ms,
+                    "category": s.category,
+                    "node": s.node,
+                    "detail": s.detail,
+                }
+                for s in self.segments
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+def _classify(event: dict) -> str:
+    kind = event["kind"]
+    if kind == "step":
+        return "timer" if event.get("timer") else "compute"
+    if kind == "send":
+        return "compute"
+    if kind == "xmit":
+        return "batch"
+    if kind == "stall_begin":
+        return "network"
+    if kind == "stall_end":
+        return "stall"
+    if kind == "recv":
+        return "network"
+    return "other"
+
+
+def critical_path(tracer: Tracer, trace_id: str) -> Optional[LatencyReport]:
+    """Extract and attribute the critical path of one trace.
+
+    Returns None for an unknown trace.  The report's segments partition
+    ``[begin, end]`` exactly; classification happens per inter-event gap
+    on the root-to-last-event span chain.
+    """
+    events = [
+        dict(event, _i=index)
+        for index, event in enumerate(tracer.events)
+        if event.get("trace") == trace_id
+    ]
+    begin = next((e for e in events if e["kind"] == "begin"), None)
+    if begin is None:
+        return None
+
+    # Per-span event lists and the recv edge (child span -> parent).
+    span_events: dict[int, list[dict]] = {}
+    recv_of: dict[int, dict] = {}
+    parent_of: dict[int, int] = {}
+    for event in events:
+        span_events.setdefault(event["span"], []).append(event)
+        if event["kind"] == "recv":
+            recv_of[event["span"]] = event
+            parent_of[event["span"]] = event["parent"]
+    for evs in span_events.values():
+        evs.sort(key=lambda e: (e["ms"], e["_i"]))
+
+    end_event = max(events, key=lambda e: (e["ms"], e["_i"]))
+    end_span = end_event["span"]
+
+    # The span chain root .. end_span (recv edges only go child->parent).
+    chain = [end_span]
+    while chain[-1] in parent_of:
+        chain.append(parent_of[chain[-1]])
+    chain.reverse()
+
+    # Build the critical-path timeline: inside each span keep the start
+    # event, fixpoint steps and the hop send; between spans splice the
+    # hop's xmit / stall / recv lifecycle events.
+    timeline: list[dict] = []
+    for position, span_id in enumerate(chain):
+        last_hop = position + 1 == len(chain)
+        evs = span_events.get(span_id, [])
+        if last_hop:
+            cutoff = (end_event["ms"], end_event["_i"])
+            hop_mid = None
+        else:
+            child = chain[position + 1]
+            hop_recv = recv_of[child]
+            hop_mid = hop_recv["msg"]
+            hop_send = next(
+                (
+                    e
+                    for e in evs
+                    if e["kind"] == "send" and e.get("msg") == hop_mid
+                ),
+                None,
+            )
+            cutoff = (
+                (hop_send["ms"], hop_send["_i"])
+                if hop_send is not None
+                else (hop_recv["ms"], hop_recv["_i"])
+            )
+        for event in evs:
+            if (event["ms"], event["_i"]) > cutoff:
+                break
+            kind = event["kind"]
+            if kind in ("begin", "recv", "step"):
+                timeline.append(event)
+            elif kind == "send" and event.get("msg") == hop_mid:
+                timeline.append(event)
+        if not last_hop:
+            # The hop's wire lifecycle: xmit and stalls live on the
+            # parent span, the recv opens the child span.
+            for event in evs:
+                if (
+                    event.get("msg") == hop_mid
+                    and event["kind"] in ("xmit", "stall_begin", "stall_end")
+                ):
+                    timeline.append(event)
+            timeline.append(recv_of[chain[position + 1]])
+
+    # Attribute each inter-event gap to the category of the event that
+    # closes it.  Zero-length gaps still classify (they keep per-rule
+    # fire data) but render suppresses them.
+    report = LatencyReport(
+        trace_id=trace_id,
+        name=begin.get("name", ""),
+        begin_ms=begin["ms"],
+        end_ms=end_event["ms"],
+        hops=len(chain) - 1,
+    )
+    by_cat = report.by_category
+    by_node = report.by_node
+    by_rule = report.by_rule
+    for prev, cur in zip(timeline, timeline[1:]):
+        gap = max(0, cur["ms"] - prev["ms"])
+        category = _classify(cur)
+        kind = cur["kind"]
+        if kind in ("step", "send"):
+            node = str(cur.get("node", ""))
+            detail = (
+                f"fixpoint ({cur.get('derivations', 0)} derivations)"
+                if kind == "step"
+                else f"send {cur.get('relation', '')} -> {cur.get('dst', '')}"
+            )
+        elif kind == "recv":
+            node = f"->{cur.get('node', '')}"
+            detail = f"deliver {cur.get('relation', '')}"
+        else:
+            node = str(prev.get("node", cur.get("node", "")) or "wire")
+            detail = {
+                "xmit": "outbox flush",
+                "stall_begin": "enqueue (pre-stall)",
+                "stall_end": "backpressure stall",
+            }.get(kind, kind)
+        report.segments.append(
+            Segment(prev["ms"], cur["ms"], category, node, detail)
+        )
+        by_cat[category] = by_cat.get(category, 0) + gap
+        node_bucket = by_node.setdefault(node, {})
+        node_bucket[category] = node_bucket.get(category, 0) + gap
+        if kind == "step" and cur.get("rules"):
+            fires = list(cur["rules"])
+            total_fires = sum(n for _, n in fires) or 1
+            for rule, n in fires:
+                by_rule[rule] = by_rule.get(rule, 0.0) + gap * n / total_fires
+    # Whatever the timeline did not reach (e.g. the end event hangs off
+    # an unclassifiable edge) lands in "other" so the categories always
+    # sum to the trace's wall time.
+    accounted = sum(by_cat.values())
+    if accounted < report.total_ms:
+        missing = report.total_ms - accounted
+        by_cat["other"] = by_cat.get("other", 0) + missing
+        report.segments.append(
+            Segment(
+                report.begin_ms,
+                report.begin_ms + missing,
+                "other",
+                "?",
+                "unattributed",
+            )
+        )
+    return report
+
+
+def latency_reports(
+    tracer: Tracer, trace_ids: Optional[list[str]] = None
+) -> list[LatencyReport]:
+    """Critical-path reports for many traces (all known ones by default)."""
+    ids = trace_ids if trace_ids is not None else tracer.trace_ids()
+    reports = []
+    for trace_id in ids:
+        report = critical_path(tracer, trace_id)
+        if report is not None:
+            reports.append(report)
+    return reports
+
+
+def render_category_summary(reports: list[LatencyReport]) -> str:
+    """Aggregate many reports into one where-did-the-time-go table."""
+    if not reports:
+        return "(no traces)"
+    totals = {cat: 0 for cat in CATEGORIES}
+    wall = 0
+    for report in reports:
+        wall += report.total_ms
+        for cat, ms in report.by_category.items():
+            totals[cat] = totals.get(cat, 0) + ms
+    lines = [f"latency accounting over {len(reports)} trace(s), {wall} ms total:"]
+    for cat in CATEGORIES:
+        ms = totals.get(cat, 0)
+        if not ms and cat != "other":
+            continue
+        pct = ms / wall * 100 if wall else 0.0
+        lines.append(f"  {cat:<8} {ms:>10} ms  {pct:5.1f}%")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "CATEGORIES",
+    "LatencyReport",
+    "Segment",
+    "critical_path",
+    "latency_reports",
+    "render_category_summary",
+]

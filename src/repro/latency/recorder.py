@@ -1,0 +1,167 @@
+"""Per-node flight recorder: bounded rings of recent activity.
+
+Traces answer *where did the time go* for requests you thought to trace;
+the flight recorder answers *what was this node just doing* when
+something went wrong.  It keeps a bounded ring per node of recent
+envelope sends/deliveries/drops, trace span events and alarm firings,
+and dumps a deterministic JSONL post-mortem when a node crashes or an
+alert-pack alarm fires (docs/OBSERVABILITY.md).
+
+Determinism: entries carry a global sequence number and the transport
+clock's virtual milliseconds — never wall time — and dumps are key-sorted
+JSON, so a fixed-seed simulator run produces byte-identical post-mortems.
+Envelope payloads are summarised (relation counts plus capped row reprs),
+keeping entries bounded regardless of batch size.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Callable, Iterable, Optional
+
+#: Default per-node ring capacity (entries, not bytes).
+DEFAULT_CAPACITY = 512
+
+#: Max row reprs kept per envelope summary.
+_ROWS_PER_ENVELOPE = 4
+#: Max characters kept per row repr.
+_ROW_REPR_CAP = 120
+
+
+class FlightRecorder:
+    """Bounded per-node rings of recent envelopes, span events and alarms.
+
+    Wire-up (the cluster's ``enable_flight_recorder`` does all three):
+
+    * ``transport.recorder = recorder`` — envelope lifecycle entries;
+    * ``tracer.add_listener(recorder.on_trace_event)`` — span events;
+    * monitor alarm hook / ``cluster.crash`` — triggering dumps.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        directory: Optional[str] = None,
+        dump_on: Iterable[str] = ("crash", "alarm"),
+        clock: Optional[Callable[[], int]] = None,
+    ) -> None:
+        self.capacity = capacity
+        self.directory = Path(directory) if directory is not None else None
+        self.dump_on = tuple(dump_on)
+        self._clock = clock if clock is not None else (lambda: 0)
+        self._rings: dict[str, deque] = {}
+        self._seq = 0
+        self._dump_n = 0
+        # (reason, node, path-or-None, text) per dump, newest last.
+        self.dumps: list[tuple[str, str, Optional[str], str]] = []
+
+    # -- recording ------------------------------------------------------------
+
+    def _ring(self, node: str) -> deque:
+        ring = self._rings.get(node)
+        if ring is None:
+            ring = self._rings[node] = deque(maxlen=self.capacity)
+        return ring
+
+    def record(self, node: str, kind: str, **fields) -> None:
+        """Append one entry to ``node``'s ring."""
+        self._seq += 1
+        entry = {"seq": self._seq, "ms": self._clock(), "kind": kind}
+        entry.update(fields)
+        self._ring(node).append(entry)
+
+    def record_envelope(self, node: str, kind: str, env, **fields) -> None:
+        """Append a summarised envelope lifecycle entry (env_out/env_in/
+        env_drop) to ``node``'s ring."""
+        relations: dict[str, int] = {}
+        rows: list[str] = []
+        for relation, row in env.deltas:
+            relations[relation] = relations.get(relation, 0) + 1
+            if len(rows) < _ROWS_PER_ENVELOPE:
+                rows.append(f"{relation}{row!r}"[:_ROW_REPR_CAP])
+        self.record(
+            node,
+            kind,
+            src=env.src,
+            dst=env.dst,
+            env_seq=env.seq,
+            deltas=len(env.deltas),
+            bytes=env.size_bytes,
+            relations=dict(sorted(relations.items())),
+            rows=rows,
+            **fields,
+        )
+
+    def on_trace_event(self, event: dict) -> None:
+        """Tracer listener: mirror span events into the originating
+        node's ring (events without a node land in the trace's ring
+        under the sender recorded on the event, else ``"?"``)."""
+        node = str(event.get("node") or event.get("src") or "?")
+        entry = {k: v for k, v in event.items() if k not in ("node", "kind")}
+        self.record(node, f"trace_{event['kind']}", **entry)
+
+    def on_alarm(self, node: str, name: str, **fields) -> None:
+        """Record an alert-pack alarm firing; auto-dumps when ``"alarm"``
+        is in ``dump_on``."""
+        self.record(node, "alarm", name=name, **fields)
+        if "alarm" in self.dump_on:
+            self.dump(f"alarm:{name}", node=node)
+
+    def on_crash(self, node: str) -> None:
+        """Record a node crash; auto-dumps when ``"crash"`` is in
+        ``dump_on``."""
+        self.record(node, "crash")
+        if "crash" in self.dump_on:
+            self.dump("crash", node=node)
+
+    # -- dumping --------------------------------------------------------------
+
+    def snapshot(self, node: Optional[str] = None) -> list[dict]:
+        """The current ring contents (one node, or all nodes merged in
+        global sequence order)."""
+        if node is not None:
+            return list(self._rings.get(node, ()))
+        merged: list[dict] = []
+        for ring in self._rings.values():
+            merged.extend(ring)
+        merged.sort(key=lambda e: e["seq"])
+        return merged
+
+    def to_jsonl(self, reason: str, node: Optional[str] = None) -> str:
+        """Key-sorted JSONL post-mortem: a header line, then every
+        surviving ring entry in global order (the crashed/alarmed node's
+        entries tagged ``focus``)."""
+        header = {
+            "kind": "flight_dump",
+            "reason": reason,
+            "node": node,
+            "ms": self._clock(),
+            "nodes": sorted(self._rings),
+        }
+        lines = [json.dumps(header, sort_keys=True, separators=(",", ":"))]
+        for entry in self.snapshot():
+            if node is not None:
+                entry = dict(entry, focus=entry in self._rings.get(node, ()))
+            lines.append(
+                json.dumps(entry, sort_keys=True, separators=(",", ":"))
+            )
+        return "\n".join(lines) + "\n"
+
+    def dump(self, reason: str, node: Optional[str] = None) -> str:
+        """Produce a post-mortem dump; writes ``flight-<n>.jsonl`` under
+        ``directory`` when one is configured.  Returns the dump text."""
+        text = self.to_jsonl(reason, node=node)
+        self._dump_n += 1
+        path: Optional[str] = None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            target = self.directory / f"flight-{self._dump_n}.jsonl"
+            target.write_text(text)
+            path = str(target)
+        self.dumps.append((reason, node or "", path, text))
+        return text
+
+
+__all__ = ["DEFAULT_CAPACITY", "FlightRecorder"]

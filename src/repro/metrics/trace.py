@@ -85,6 +85,18 @@ class Tracer:
         self._msg_n = 0
         self._span_n: dict[str, int] = {}
         self._msg_ctx: dict[int, Context] = {}
+        # Observers of the event stream (e.g. the flight recorder's
+        # bounded ring, docs/OBSERVABILITY.md); each is called with every
+        # event dict right after it is appended.
+        self.listeners: list[Callable[[dict], None]] = []
+
+    def add_listener(self, listener: Callable[[dict], None]) -> None:
+        self.listeners.append(listener)
+
+    def _record(self, event: dict) -> None:
+        self.events.append(event)
+        for listener in self.listeners:
+            listener(event)
 
     @property
     def now(self) -> int:
@@ -107,7 +119,7 @@ class Tracer:
         self._trace_n += 1
         trace_id = f"t{self._trace_n}"
         self._span_n[trace_id] = 0
-        self.events.append(
+        self._record(
             {
                 "kind": "begin",
                 "trace": trace_id,
@@ -143,7 +155,7 @@ class Tracer:
         self._msg_ctx[mid] = self.current
         now = self.now
         for ref in self.current:
-            self.events.append(
+            self._record(
                 {
                     "kind": "send",
                     "trace": ref.trace_id,
@@ -157,13 +169,51 @@ class Tracer:
             )
         return mid
 
+    def on_xmit(self, mid: Optional[int]) -> None:
+        """Record that a traced delta's envelope left its outbox and was
+        handed to the transport.  The gap between a delta's ``send``
+        (buffer time) and its ``xmit`` is outbox batching wait — one of
+        the categories the latency accounting layer attributes
+        (docs/OBSERVABILITY.md)."""
+        if mid is None:
+            return
+        now = self.now
+        for ref in self._msg_ctx.get(mid, ()):
+            self._record(
+                {
+                    "kind": "xmit",
+                    "trace": ref.trace_id,
+                    "span": ref.span_id,
+                    "msg": mid,
+                    "ms": now,
+                }
+            )
+
+    def on_stall(self, mid: Optional[int], phase: str) -> None:
+        """Record a backpressure stall boundary (``phase`` is ``begin``
+        or ``end``) for a traced envelope blocked on a full bounded
+        queue (asyncio backend)."""
+        if mid is None:
+            return
+        now = self.now
+        for ref in self._msg_ctx.get(mid, ()):
+            self._record(
+                {
+                    "kind": f"stall_{phase}",
+                    "trace": ref.trace_id,
+                    "span": ref.span_id,
+                    "msg": mid,
+                    "ms": now,
+                }
+            )
+
     def on_drop(self, mid: Optional[int], reason: str) -> None:
         """Record that a traced message was lost (loss/partition/dead)."""
         if mid is None:
             return
         now = self.now
         for ref in self._msg_ctx.pop(mid, ()):
-            self.events.append(
+            self._record(
                 {
                     "kind": "drop",
                     "trace": ref.trace_id,
@@ -185,7 +235,7 @@ class Tracer:
         for parent in parents:
             self._span_n[parent.trace_id] += 1
             span_id = self._span_n[parent.trace_id]
-            self.events.append(
+            self._record(
                 {
                     "kind": "recv",
                     "trace": parent.trace_id,
@@ -211,7 +261,7 @@ class Tracer:
                 "ms": now,
             }
             event.update(fields)
-            self.events.append(event)
+            self._record(event)
 
     # -- reconstruction -------------------------------------------------------
 

@@ -18,6 +18,8 @@ Commands:
     \\whynot <rel> <v1> ...       why a tuple is absent ('?' = unknown col)
     \\profile [top]               sampled hot-rules report
     \\explain [rule]              compiled join plans (+ fire counts)
+    \\lat [trace]                 critical-path latency accounting of a
+                                 trace (default: the last insert's)
     help / quit
 """
 
@@ -26,6 +28,7 @@ from __future__ import annotations
 import sys
 from typing import Any
 
+from ..metrics.trace import Tracer
 from .errors import OverlogError
 from .parser import parse
 from .runtime import OverlogRuntime
@@ -70,6 +73,11 @@ class Repl:
             profile=profile,
         )
         self._now = 0
+        # Every insert opens a trace, every tick annotates the steps it
+        # causes, so \lat can explain where a tuple's time went even in
+        # this single-node setting (timer waits, per-rule compute).
+        self.tracer = Tracer(clock=lambda: self._now)
+        self._last_trace: str | None = None
 
     def execute(self, line: str) -> str:
         parts = line.split()
@@ -88,19 +96,46 @@ class Repl:
             return f"usage error: {exc}"
 
     def cmd_insert(self, rel: str, *values: str) -> str:
-        self.runtime.insert(rel, tuple(_coerce(v) for v in values))
-        return f"queued {rel}({', '.join(values)})"
+        ref = self.tracer.start_trace(
+            f"{rel} {' '.join(values)}".strip(), node="repl"
+        )
+        self._last_trace = ref.trace_id
+        self.runtime.insert(
+            rel, tuple(_coerce(v) for v in values), trace=(ref,)
+        )
+        return f"queued {rel}({', '.join(values)}) [trace {ref.trace_id}]"
 
     def cmd_install(self, rel: str, *values: str) -> str:
         self.runtime.install(rel, [tuple(_coerce(v) for v in values)])
         return f"installed {rel}({', '.join(values)})"
+
+    def _traced_tick(self):
+        """One runtime tick with the step annotated onto whatever traces
+        its inbox tuples carried (mirrors OverlogProcess._run_step)."""
+        fires_before = dict(self.runtime.evaluator.rule_fires)
+        result = self.runtime.tick(now=self._now)
+        ctx = self.runtime.last_step_ctx
+        if ctx:
+            annotation: dict[str, Any] = {
+                "node": "repl",
+                "derivations": result.derivation_count,
+            }
+            fired = sorted(
+                (name, count - fires_before.get(name, 0))
+                for name, count in self.runtime.evaluator.rule_fires.items()
+                if count != fires_before.get(name, 0)
+            )
+            if fired:
+                annotation["rules"] = fired
+            self.tracer.annotate(ctx, "step", **annotation)
+        return result
 
     def cmd_tick(self, now: str = "") -> str:
         if now:
             self._now = int(now)
         else:
             self._now += 1
-        result = self.runtime.tick(now=self._now)
+        result = self._traced_tick()
         lines = [
             f"t={self._now}: {result.derivation_count} derivations, "
             f"{len(result.sends)} sends, {len(result.deletions)} deletions"
@@ -110,7 +145,7 @@ class Repl:
         steps = 0
         while self.runtime.has_pending_work and steps < 100:
             steps += 1
-            follow = self.runtime.tick(now=self._now)
+            follow = self._traced_tick()
             lines.append(
                 f"  (+deferred step: {follow.derivation_count} derivations)"
             )
@@ -159,6 +194,17 @@ class Repl:
 
     def cmd_explain(self, rule: str = "") -> str:
         return self.runtime.explain(rule or None)
+
+    def cmd_lat(self, trace: str = "") -> str:
+        from ..latency import critical_path
+
+        trace_id = trace or self._last_trace
+        if trace_id is None:
+            return "no traces yet — 'insert' something first"
+        report = critical_path(self.tracer, trace_id)
+        if report is None:
+            return f"(no such trace {trace_id})"
+        return report.render_text()
 
     def cmd_watch(self, rel: str) -> str:
         self.runtime.watch(rel, lambda row: print(f"  [watch] {rel}{row}"))

@@ -249,6 +249,7 @@ class OverlogProcess(Process):
         self._step_pending = False
         self._busy_until = 0
         self._timer_handle: Optional[TimerHandle] = None
+        self._woke_by_timer = False
 
     def _make_runtime(self) -> OverlogRuntime:
         return OverlogRuntime(
@@ -298,6 +299,7 @@ class OverlogProcess(Process):
         self._step_pending = False
         self._busy_until = 0
         self._timer_handle = None
+        self._woke_by_timer = False
         self._outbox.clear()
 
     def on_crash(self) -> None:
@@ -346,7 +348,20 @@ class OverlogProcess(Process):
         self._step_pending = False
         if self.crashed:
             return
+        tracer = self.tracer
+        # Per-step rule attribution for the latency accounting layer:
+        # snapshot the evaluator's cumulative fire counts so the step
+        # annotation can carry this tick's per-rule fires.  Only paid
+        # when at least one trace exists (untraced runs skip the copy).
+        fires_before = (
+            dict(self.runtime.evaluator.rule_fires)
+            if tracer is not None and tracer._trace_n
+            else None
+        )
+        woke_by_timer = self._woke_by_timer
+        self._woke_by_timer = False
         result = self.runtime.tick(now=self.now)
+        cost_ms = 0
         if self.per_derivation_cost_us:
             cost_ms = (
                 result.derivation_count * self.per_derivation_cost_us
@@ -357,16 +372,27 @@ class OverlogProcess(Process):
         # so traces follow requests across nodes.  The sending() scope is
         # the fixpoint boundary: every send the step makes flushes as one
         # envelope per destination when the scope closes.
-        tracer = self.tracer
         ctx = self.runtime.last_step_ctx
         with self.sending():
             if tracer is not None and ctx:
-                tracer.annotate(
-                    ctx,
-                    "step",
-                    node=self.address,
-                    derivations=result.derivation_count,
-                )
+                annotation: dict[str, Any] = {
+                    "node": self.address,
+                    "derivations": result.derivation_count,
+                }
+                if woke_by_timer:
+                    annotation["timer"] = True
+                busy_ms = self.step_cost_ms + cost_ms
+                if busy_ms:
+                    annotation["busy_ms"] = busy_ms
+                if fires_before is not None:
+                    fired = sorted(
+                        (name, count - fires_before.get(name, 0))
+                        for name, count in self.runtime.evaluator.rule_fires.items()
+                        if count != fires_before.get(name, 0)
+                    )
+                    if fired:
+                        annotation["rules"] = fired
+                tracer.annotate(ctx, "step", **annotation)
                 with tracer.activate(ctx):
                     self.handle_step_result(result)
                     for dest, relation, row in result.sends:
@@ -397,4 +423,9 @@ class OverlogProcess(Process):
     def _timer_fired(self) -> None:
         self._timer_handle = None
         if not self.crashed:
+            # Mark the wakeup source so the step annotation can tell a
+            # timer-driven step apart from a message-driven one (the
+            # latency accountant classifies the preceding gap as timer
+            # wait for any traced tuple that was parked across it).
+            self._woke_by_timer = True
             self._run_step()

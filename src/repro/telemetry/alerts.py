@@ -68,11 +68,43 @@ pxa3 delete alarm("paxos-no-leader", "cluster", D) :-
         paxos_leader_count(0, S), S > 0;
 """
 
-DEFAULT_ALERT_PACKS = (BOOMFS_ALERTS, TRANSPORT_ALERTS, PAXOS_ALERTS)
+#: Latency SLOs: the operator installs ``latency_slo(metric, p99_ms)``
+#: facts (see :meth:`~repro.telemetry.monitor.MonitorProcess.set_slo`);
+#: whenever the cluster-merged digest for that metric — e.g. the per-op
+#: ``request.latency_ms.mkdir`` rows published by ``per_op_latency`` —
+#: shows a p99 above the limit, the alarm fires, and the delete twin
+#: clears it when the tail recovers.  With no SLO facts the pack is
+#: inert, so it ships in the defaults.
+LATENCY_ALERTS = """
+program latency_alerts;
+
+define(latency_slo, keys(0), {Str, Float});
+
+lta1 alarm("p99-slo-burn", Metric, P) :-
+        latency_slo(Metric, Limit),
+        rollup_digest(Metric, D),
+        P := f_quantile(D, 99),
+        P > Limit;
+
+lta2 delete alarm("p99-slo-burn", Metric, Old) :-
+        alarm("p99-slo-burn", Metric, Old),
+        latency_slo(Metric, Limit),
+        rollup_digest(Metric, D),
+        P := f_quantile(D, 99),
+        P <= Limit;
+"""
+
+DEFAULT_ALERT_PACKS = (
+    BOOMFS_ALERTS,
+    TRANSPORT_ALERTS,
+    PAXOS_ALERTS,
+    LATENCY_ALERTS,
+)
 
 __all__ = [
     "BOOMFS_ALERTS",
     "DEFAULT_ALERT_PACKS",
+    "LATENCY_ALERTS",
     "PAXOS_ALERTS",
     "TRANSPORT_ALERTS",
 ]

@@ -82,17 +82,14 @@ def telemetry_rows(
 # -- trace-span folding ---------------------------------------------------------
 
 
-def trace_latency_digest(tracer: Tracer) -> TDigest:
-    """Fold end-to-end request latency out of PR 1 trace spans.
-
-    Each trace's latency is the span between its ``begin`` event and the
-    last event recorded anywhere in the trace (all timestamps are
-    transport-clock ms).  The digest merges into telemetry rollups like
-    any other percentile payload, which is how the monitor answers
-    p50/p99/p999 over requests without keeping per-request rows.
-    """
+def _trace_spans(tracer: Tracer) -> tuple[dict, dict, dict]:
+    """(begin_ms, end_ms, op name) per trace id from the flat event log.
+    The op name is the first token of the trace's ``begin`` name — the
+    convention the load driver and BOOM-FS clients follow (``"mkdir
+    /d1"`` -> ``mkdir``)."""
     begins: dict[str, int] = {}
     ends: dict[str, int] = {}
+    ops: dict[str, str] = {}
     for event in tracer.events:
         trace_id = event.get("trace")
         if trace_id is None:
@@ -102,9 +99,24 @@ def trace_latency_digest(tracer: Tracer) -> TDigest:
             continue
         if event["kind"] == "begin":
             begins[trace_id] = ms
+            name = str(event.get("name", ""))
+            ops[trace_id] = name.split()[0] if name.split() else "?"
         prev = ends.get(trace_id)
         if prev is None or ms > prev:
             ends[trace_id] = ms
+    return begins, ends, ops
+
+
+def trace_latency_digest(tracer: Tracer) -> TDigest:
+    """Fold end-to-end request latency out of PR 1 trace spans.
+
+    Each trace's latency is the span between its ``begin`` event and the
+    last event recorded anywhere in the trace (all timestamps are
+    transport-clock ms).  The digest merges into telemetry rollups like
+    any other percentile payload, which is how the monitor answers
+    p50/p99/p999 over requests without keeping per-request rows.
+    """
+    begins, ends, _ops = _trace_spans(tracer)
     digest = TDigest()
     for trace_id in sorted(begins):
         digest.add(ends[trace_id] - begins[trace_id])
@@ -116,13 +128,37 @@ def trace_latency_rows(
     node: str = "traces",
     metric: str = "request.latency_ms",
     clock: int = 0,
+    per_op: bool = False,
 ) -> list[tuple]:
     """The trace-latency digest as telemetry tuples (empty when no
-    trace has been recorded)."""
-    digest = trace_latency_digest(tracer)
-    if digest.count == 0:
+    trace has been recorded).
+
+    With ``per_op=True``, one extra digest per operation type is
+    published as ``{metric}.{op}`` — the rows the per-op p99 SLO alert
+    pack (``LATENCY_ALERTS``) watches.
+    """
+    begins, ends, ops = _trace_spans(tracer)
+    if not begins:
         return []
-    return [(node, metric, "percentile", digest.to_payload(), clock)]
+    digest = TDigest()
+    per_op_digests: dict[str, TDigest] = {}
+    for trace_id in sorted(begins):
+        latency = ends[trace_id] - begins[trace_id]
+        digest.add(latency)
+        if per_op:
+            per_op_digests.setdefault(ops[trace_id], TDigest()).add(latency)
+    rows = [(node, metric, "percentile", digest.to_payload(), clock)]
+    for op in sorted(per_op_digests):
+        rows.append(
+            (
+                node,
+                f"{metric}.{op}",
+                "percentile",
+                per_op_digests[op].to_payload(),
+                clock,
+            )
+        )
+    return rows
 
 
 # -- monitor-side export ----------------------------------------------------------

@@ -124,6 +124,21 @@ class MonitorProcess(OverlogProcess):
 
     def _on_alarm(self, row: tuple) -> None:
         self.alert_log.append((self.now, row))
+        # Alarms trigger the flight recorder's post-mortem dump (when one
+        # is armed with dump_on=("alarm", ...)): the ring's recent
+        # envelopes and span events are exactly the evidence an operator
+        # wants next to a fresh alarm.
+        recorder = getattr(self.cluster, "flight_recorder", None)
+        if recorder is not None:
+            recorder.on_alarm(
+                str(self.address), str(row[0]), subject=str(row[1])
+            )
+
+    def set_slo(self, metric: str, p99_ms: float) -> None:
+        """Install a p99 latency SLO for ``metric``: the LATENCY_ALERTS
+        pack fires ``("p99-slo-burn", metric, p99)`` while the
+        cluster-merged digest's p99 exceeds ``p99_ms``."""
+        self.inject("latency_slo", (metric, float(p99_ms)))
 
     # -- typed views over the monitor's tables --------------------------------
 

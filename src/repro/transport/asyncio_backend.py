@@ -261,9 +261,14 @@ class LocalAsyncTransport(Transport):
         if endpoint.queue.full():
             # Bounded-queue backpressure: the sender blocks until the
             # consumer makes room; the stall is visible in the metrics
-            # registry and nothing is dropped.
+            # registry (and on the blocked deltas' trace spans as a
+            # stall_begin/stall_end pair) and nothing is dropped.
             self._account_stall(env.src, env.dst)
-        await endpoint.queue.put(env)
+            self._note_stall(env, "begin")
+            await endpoint.queue.put(env)
+            self._note_stall(env, "end")
+        else:
+            await endpoint.queue.put(env)
 
     async def _transmit_tcp(
         self, link: _Link, endpoint: _Endpoint, env: Envelope
@@ -293,7 +298,11 @@ class LocalAsyncTransport(Transport):
                 env = Envelope.decode(await reader.readexactly(length))
                 if endpoint.queue.full():
                     self._account_stall(env.src, env.dst)
-                await endpoint.queue.put(env)
+                    self._note_stall(env, "begin")
+                    await endpoint.queue.put(env)
+                    self._note_stall(env, "end")
+                else:
+                    await endpoint.queue.put(env)
         except (
             asyncio.IncompleteReadError,
             asyncio.CancelledError,

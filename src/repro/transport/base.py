@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Optional, Protocol
+from typing import TYPE_CHECKING, Any, Callable, Optional, Protocol
 
 if TYPE_CHECKING:
     from ..metrics.registry import MetricsRegistry
@@ -99,6 +99,10 @@ class Transport(ABC):
         # registry to surface transport counters in cluster dashboards.
         self.tracer: Optional["Tracer"] = None
         self.metrics: Optional["MetricsRegistry"] = None
+        # Optional flight recorder (repro.latency.recorder): a bounded
+        # per-node ring of recent envelope events, armed by the cluster's
+        # enable_flight_recorder().
+        self.recorder: Optional[Any] = None
         # Optional per-delta send log for differential testing.
         self.record_sends = False
         self.sent_log: list[tuple[Address, Address, str, tuple]] = []
@@ -196,6 +200,26 @@ class Transport(ABC):
                 (env.src, env.dst, relation, row)
                 for relation, row in env.deltas
             )
+        # Envelope lifecycle: the delta left its outbox and hit the wire.
+        # send->xmit on the same trace span is outbox batching wait.
+        tracer = self.tracer
+        if tracer is not None:
+            for mid in env.mids:
+                tracer.on_xmit(mid)
+        if self.recorder is not None:
+            self.recorder.record_envelope(env.src, "env_out", env)
+
+    def _note_stall(self, env: "Envelope", phase: str) -> None:
+        """Record a backpressure-stall boundary on the envelope's traced
+        deltas (``phase``: ``begin``/``end``) and in the flight ring."""
+        tracer = self.tracer
+        if tracer is not None:
+            for mid in env.mids:
+                tracer.on_stall(mid, phase)
+        if self.recorder is not None:
+            self.recorder.record(
+                env.src, f"stall_{phase}", dst=env.dst, seq=env.seq
+            )
 
     def _account_delivered(self, env: "Envelope") -> None:
         stats = self.stats
@@ -204,6 +228,8 @@ class Transport(ABC):
         stats.bytes_delivered += env.size_bytes
         if self.metrics is not None:
             self.metrics.counter("transport.envelopes_delivered").inc()
+        if self.recorder is not None:
+            self.recorder.record_envelope(env.dst, "env_in", env)
 
     def _account_dropped(self, env: "Envelope", reason: str) -> None:
         stats = self.stats
@@ -220,6 +246,8 @@ class Transport(ABC):
         if tracer is not None:
             for mid in env.mids:
                 tracer.on_drop(mid, reason)
+        if self.recorder is not None:
+            self.recorder.record_envelope(env.src, "env_drop", env, reason=reason)
 
     def _account_stall(self, src: Address, dst: Address) -> None:
         self.stats.backpressure_stalls += 1

@@ -51,6 +51,9 @@ class BaseCluster:
         # holds (monitor address, interval, transport/trace export flags)
         # so late-added and restarted nodes get wired automatically.
         self._telemetry: Optional[dict] = None
+        # Flight recorder (docs/OBSERVABILITY.md): set by
+        # enable_flight_recorder; dumps per-node post-mortems on crash.
+        self.flight_recorder = None
 
     # -- membership -----------------------------------------------------------
 
@@ -105,6 +108,8 @@ class BaseCluster:
         process.on_crash()
         process.discard_unsent()
         self.transport.unregister(address)
+        if self.flight_recorder is not None:
+            self.flight_recorder.on_crash(str(address))
 
     def restart(self, address: Address) -> None:
         """Bring a crashed node back with empty volatile state."""
@@ -201,6 +206,46 @@ class BaseCluster:
         the tracer.  Requires the node to run with ``provenance=True``."""
         return self.provenance.why(node, relation, row, fmt=fmt)
 
+    # -- latency accounting (docs/OBSERVABILITY.md) ----------------------------
+
+    def latency_report(self, trace_id: str, fmt: str = "text"):
+        """Critical-path latency attribution for one trace: where the
+        request's wall time went (compute / batch / stall / network /
+        timer), per node and per rule.  ``fmt``: ``text``, ``json`` or
+        ``report`` (the :class:`~repro.latency.LatencyReport` itself)."""
+        from ..latency import critical_path
+
+        report = critical_path(self.tracer, trace_id)
+        if report is None:
+            return None if fmt == "report" else f"(no such trace {trace_id})"
+        if fmt == "json":
+            return report.to_json()
+        if fmt == "report":
+            return report
+        return report.render_text()
+
+    def enable_flight_recorder(
+        self,
+        capacity: int = 512,
+        directory=None,
+        dump_on: Iterable[str] = ("crash", "alarm"),
+    ):
+        """Arm a :class:`~repro.latency.FlightRecorder`: bounded per-node
+        rings of recent envelopes, span events and alarms, auto-dumped as
+        deterministic JSONL post-mortems on crash and/or alarm."""
+        from ..latency import FlightRecorder
+
+        recorder = FlightRecorder(
+            capacity=capacity,
+            directory=directory,
+            dump_on=dump_on,
+            clock=lambda: self.transport.now,
+        )
+        self.flight_recorder = recorder
+        self.transport.recorder = recorder
+        self.tracer.add_listener(recorder.on_trace_event)
+        return recorder
+
     # -- telemetry plane (docs/TELEMETRY.md) -----------------------------------
 
     def enable_telemetry(
@@ -209,6 +254,7 @@ class BaseCluster:
         interval_ms: Optional[int] = 1000,
         include_transport: bool = True,
         include_traces: bool = True,
+        per_op_latency: bool = False,
         alert_packs: Optional[Iterable[str]] = None,
         extra_source: Optional[str] = None,
     ):
@@ -221,7 +267,10 @@ class BaseCluster:
         (backpressure stalls, envelope counters) — it has no owning node,
         so the cluster injects it at the monitor directly.
         ``include_traces`` folds PR 1 trace spans into an end-to-end
-        ``request.latency_ms`` percentile payload the same way.
+        ``request.latency_ms`` percentile payload the same way;
+        ``per_op_latency`` additionally publishes one digest per
+        operation type (keyed by the first token of each trace's name),
+        feeding the per-op p99 SLO alert pack.
         ``interval_ms=None`` arms no timers: tests drive deterministic
         rounds via ``publish_telemetry(clock=...)`` themselves.
         """
@@ -240,6 +289,7 @@ class BaseCluster:
             "interval_ms": interval_ms,
             "include_transport": include_transport,
             "include_traces": include_traces,
+            "per_op_latency": per_op_latency,
         }
         for process in list(self.processes.values()):
             self._wire_telemetry(process)
@@ -282,7 +332,13 @@ class BaseCluster:
                     telemetry_rows(registry, node="transport", clock=clock)
                 )
         if cfg["include_traces"]:
-            rows.extend(trace_latency_rows(self.tracer, clock=clock))
+            rows.extend(
+                trace_latency_rows(
+                    self.tracer,
+                    clock=clock,
+                    per_op=cfg.get("per_op_latency", False),
+                )
+            )
         for row in rows:
             monitor.inject("telemetry", row)
         return len(rows)

@@ -1,0 +1,5 @@
+"""Workload generation: load drivers for latency and throughput studies."""
+
+from .driver import DEFAULT_MIX, LoadDriver, OpRecord, run_driver
+
+__all__ = ["DEFAULT_MIX", "LoadDriver", "OpRecord", "run_driver"]
