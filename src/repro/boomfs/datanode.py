@@ -101,6 +101,22 @@ class DataNode(Process):
             for master in self.masters:
                 self.send(master, "chunk_gone", (self.address, cid))
 
+    def wipe_storage(self) -> None:
+        """Disk-loss fault: forget every stored chunk.  Used by amnesia
+        failure schedules — a wiped DataNode that restarts quickly keeps
+        heartbeating, so the master's stale chunk beliefs are exactly
+        what the cluster-scoped chunk-agreement invariant exists to
+        catch."""
+        self.chunks.clear()
+        self.metrics.gauge("dn.stored_bytes").set(0)
+
+    def state_export_rows(self, clock: int) -> list[tuple]:
+        """Cluster-invariant export: this node's actual chunk inventory
+        (see repro.monitoring.global_invariants)."""
+        from ..monitoring.global_invariants import datanode_state_rows
+
+        return datanode_state_rows(self, clock)
+
     def holds(self, cid: str) -> bool:
         return cid in self.chunks
 

@@ -83,6 +83,12 @@ class BoomFSMaster(OverlogProcess):
         # collide (partitions get distinct scopes), while Paxos replicas
         # share one scope so replayed ops mint identical ids.
         scope = id_scope if id_scope is not None else address
+        self.id_scope = scope
+        # Multi-master deployments (partitioned namespaces) set this so
+        # state exports include fs_owner rows, feeding the monitor's
+        # shard-disjointness invariant.  A lone master owns everything
+        # by construction, so the default skips the per-path volume.
+        self.export_ownership = False
         super().__init__(
             address,
             master_program(drop_rules),
@@ -144,6 +150,19 @@ class BoomFSMaster(OverlogProcess):
                 counter("fs.replications_ordered").inc()
             elif relation == "gc_chunk":
                 counter("fs.gc_ordered").inc()
+
+    def state_export_rows(self, clock: int) -> list[tuple]:
+        """Cluster-invariant export: chunk references, location beliefs
+        and (for multi-master deployments) namespace ownership claims
+        (see repro.monitoring.global_invariants)."""
+        from ..monitoring.global_invariants import boomfs_state_rows
+
+        return boomfs_state_rows(
+            self.runtime,
+            str(self.address),
+            clock,
+            ownership_scope=self.id_scope if self.export_ownership else None,
+        )
 
     # -- inspection helpers (tests, benchmarks, invariants) ------------------
 

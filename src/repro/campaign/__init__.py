@@ -1,0 +1,36 @@
+"""Fault-campaign observatory (docs/OBSERVABILITY.md).
+
+Drives seeded multi-class fault schedules (:func:`repro.sim.failure.
+generate_campaign`) against an observed BOOM-FS cluster and measures
+how the observability stack — alert packs, cluster-scoped invariants,
+flight recorder — actually performs: detection latency per fault class,
+false positives/negatives, recovery times, all on one deterministic
+timeline.  ``python -m repro.campaign`` runs a full matrix from the
+command line.
+"""
+
+from .report import (
+    alarm_episodes,
+    campaign_report,
+    render_campaign_text,
+    render_matrix_text,
+    run_matrix,
+    violation_episodes,
+)
+from .runner import CampaignResult, CampaignSpec, run_campaign
+from .timeline import Timeline, TimelineEvent, dump_json
+
+__all__ = [
+    "CampaignResult",
+    "CampaignSpec",
+    "Timeline",
+    "TimelineEvent",
+    "alarm_episodes",
+    "campaign_report",
+    "dump_json",
+    "render_campaign_text",
+    "render_matrix_text",
+    "run_campaign",
+    "run_matrix",
+    "violation_episodes",
+]

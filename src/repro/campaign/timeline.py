@@ -1,0 +1,91 @@
+"""Unified campaign timelines: faults, detections and repairs on one clock.
+
+A fault campaign's primary artifact is its timeline — every injected
+fault, every detection signal (alarm episode or cluster-invariant
+violation), every repair and every clear, stamped with the cluster's
+virtual clock.  The run on the simulator backend is fully deterministic,
+so the JSON rendering here is *byte*-deterministic: events sort on a
+total order and serialisation pins key order and separators, which is
+what lets CI diff two runs of the same seed.
+
+Event taxonomy (``kind`` / ``name``):
+
+* ``fault`` / fault class (``crash``, ``partition``, ``slowdown``,
+  ``amnesia``, ``restart-storm``) — an injection, from the failure
+  schedule's observer hook;
+* ``repair`` / ``restart`` | ``heal`` | ``slowdown-end`` — the
+  schedule undoing a fault;
+* ``alarm`` / alarm name — the first firing of an alarm episode at the
+  monitor; ``alarm-clear`` when the episode's row leaves the alarm
+  table;
+* ``violation`` / invariant name — the first firing of a
+  cluster-invariant violation episode; ``violation-clear`` when it
+  stops re-deriving;
+* ``workload`` / ``start`` | ``done`` — load-driver milestones.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class TimelineEvent:
+    ms: int
+    kind: str
+    name: str
+    subject: str
+    detail: str = ""
+
+
+@dataclass
+class Timeline:
+    """An append-only event list with deterministic renderings."""
+
+    events: list[TimelineEvent] = field(default_factory=list)
+
+    def add(
+        self, ms: int, kind: str, name: str, subject: str, detail: str = ""
+    ) -> TimelineEvent:
+        event = TimelineEvent(int(ms), kind, name, subject, detail)
+        self.events.append(event)
+        return event
+
+    def sorted(self) -> list[TimelineEvent]:
+        return sorted(self.events)
+
+    def select(self, *kinds: str) -> list[TimelineEvent]:
+        wanted = set(kinds)
+        return [e for e in self.sorted() if e.kind in wanted]
+
+    def to_dicts(self) -> list[dict]:
+        return [asdict(e) for e in self.sorted()]
+
+    def to_json(self) -> str:
+        """Byte-deterministic JSON (sorted events, pinned key order)."""
+        return json.dumps(
+            {"events": self.to_dicts()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def render_text(self) -> str:
+        """Operator-readable timeline, one event per line."""
+        lines = []
+        for e in self.sorted():
+            detail = f"  [{e.detail}]" if e.detail else ""
+            lines.append(
+                f"  {e.ms:>8}ms  {e.kind:<16} {e.name:<18} {e.subject}{detail}"
+            )
+        return "\n".join(lines) if lines else "  (no events)"
+
+
+def dump_json(obj: dict) -> str:
+    """The campaign suite's one JSON encoder: every artifact (timeline,
+    per-campaign report, scenario matrix) goes through this so identical
+    runs produce identical bytes."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+__all__ = ["Timeline", "TimelineEvent", "dump_json"]

@@ -54,6 +54,9 @@ class FlightRecorder:
         self._rings: dict[str, deque] = {}
         self._seq = 0
         self._dump_n = 0
+        # Violations re-derive on every export round while the bad state
+        # persists; dump only the first firing per (node, name, subject).
+        self._violation_dumped: set[tuple] = set()
         # (reason, node, path-or-None, text) per dump, newest last.
         self.dumps: list[tuple[str, str, Optional[str], str]] = []
 
@@ -108,6 +111,17 @@ class FlightRecorder:
         self.record(node, "alarm", name=name, **fields)
         if "alarm" in self.dump_on:
             self.dump(f"alarm:{name}", node=node)
+
+    def on_violation(self, node: str, name: str, **fields) -> None:
+        """Record a cluster-invariant violation firing; auto-dumps the
+        first occurrence per (node, name, subject) when ``"violation"``
+        is in ``dump_on``."""
+        self.record(node, "violation", name=name, **fields)
+        if "violation" in self.dump_on:
+            key = (node, name, fields.get("subject"))
+            if key not in self._violation_dumped:
+                self._violation_dumped.add(key)
+                self.dump(f"violation:{name}", node=node)
 
     def on_crash(self, node: str) -> None:
         """Record a node crash; auto-dumps when ``"crash"`` is in

@@ -22,6 +22,17 @@ from .bloomunit import (
     DeclarativeTest,
     TestResult,
 )
+from .global_invariants import (
+    GLOBAL_BOOMFS_INVARIANTS,
+    GLOBAL_INVARIANT_PACKS,
+    GLOBAL_PAXOS_INVARIANTS,
+    GLOBAL_SHARD_INVARIANTS,
+    GLOBAL_STATE_CORE,
+    boomfs_state_rows,
+    datanode_state_rows,
+    global_invariants_source,
+    paxos_state_rows,
+)
 from .invariants import (
     BOOMFS_INVARIANTS,
     PAXOS_INVARIANTS,
@@ -46,6 +57,11 @@ __all__ = [
     "DeclarativeTest",
     "EXPECT_RELATION",
     "FAILED_RELATION",
+    "GLOBAL_BOOMFS_INVARIANTS",
+    "GLOBAL_INVARIANT_PACKS",
+    "GLOBAL_PAXOS_INVARIANTS",
+    "GLOBAL_SHARD_INVARIANTS",
+    "GLOBAL_STATE_CORE",
     "InvariantMonitor",
     "MonitorProcess",
     "PAXOS_ALERTS",
@@ -58,6 +74,10 @@ __all__ = [
     "add_relation_tracing",
     "add_rule_tracing",
     "boomfs_invariants_program",
+    "boomfs_state_rows",
+    "datanode_state_rows",
+    "global_invariants_source",
     "paxos_invariants_program",
+    "paxos_state_rows",
     "with_invariants",
 ]

@@ -49,6 +49,24 @@ timer(inv_tick, 1000);
 pv1 invariant_violation("applied-ahead", I) :-
         inv_tick(_, _), applied(0, N), I := N - 1, I >= 1,
         notin decided(I, _);
+
+/* decided-slot uniqueness: the decided table's primary key on the
+   instance would silently *replace* a conflicting second decision, so
+   keep an append-only history keyed by (instance, value) — a current
+   decision differing from any historical one is a safety violation */
+define(decided_hist, keys(0, 1), {Int, Any});
+pv2 decided_hist(I, V) :- decided(I, V);
+pv3 invariant_violation("decided-conflict", I) :-
+        decided(I, V), decided_hist(I, W), V != W;
+
+/* ballot monotonicity: the acceptor's promise high-water must never
+   regress (it is supposed to be durable across crashes).  Same trick:
+   promised_hist accumulates every ballot ever promised, so the current
+   value falling below any historical one is a regression. */
+define(promised_hist, keys(0), {Int});
+pv4 promised_hist(B) :- max_promised(_, B);
+pv5 invariant_violation("ballot-regression", B) :-
+        max_promised(_, B), promised_hist(H), B < H;
 """
 
 

@@ -20,6 +20,8 @@ Commands:
     \\explain [rule]              compiled join plans (+ fire counts)
     \\lat [trace]                 critical-path latency accounting of a
                                  trace (default: the last insert's)
+    \\inv                         invariant violations recorded so far,
+                                 each with a one-hop why() summary
     help / quit
 """
 
@@ -78,6 +80,14 @@ class Repl:
         # this single-node setting (timer waits, per-rule compute).
         self.tracer = Tracer(clock=lambda: self._now)
         self._last_trace: str | None = None
+        # Programs carrying invariant packs (heads deriving
+        # invariant_violation — see repro.monitoring.invariants) get a
+        # live tally for \inv; plain programs skip the hook.
+        self._violations: list[tuple] = []
+        if self.runtime.catalog.is_declared("invariant_violation"):
+            self.runtime.watch(
+                "invariant_violation", self._violations.append
+            )
 
     def execute(self, line: str) -> str:
         parts = line.split()
@@ -205,6 +215,21 @@ class Repl:
         if report is None:
             return f"(no such trace {trace_id})"
         return report.render_text()
+
+    def cmd_inv(self) -> str:
+        if not self.runtime.catalog.is_declared("invariant_violation"):
+            return "this program declares no invariant_violation relation"
+        if not self._violations:
+            return "no invariant violations recorded"
+        lines = []
+        for row in sorted(set(self._violations), key=repr):
+            count = self._violations.count(row)
+            times = f" (x{count})" if count > 1 else ""
+            lines.append(f"invariant_violation{row}{times}")
+            why = str(self.runtime.why("invariant_violation", row))
+            hop = [ln for ln in why.splitlines() if ln.strip()][:4]
+            lines.extend(f"    {ln}" for ln in hop)
+        return "\n".join(lines)
 
     def cmd_watch(self, rel: str) -> str:
         self.runtime.watch(rel, lambda row: print(f"  [watch] {rel}{row}"))

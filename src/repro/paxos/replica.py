@@ -135,6 +135,13 @@ class PaxosReplica(OverlogProcess):
         }
         super().on_crash()
 
+    def state_export_rows(self, clock: int) -> list[tuple]:
+        """Cluster-invariant export: promise/applied cursor plus the
+        decided log (see repro.monitoring.global_invariants)."""
+        from ..monitoring.global_invariants import paxos_state_rows
+
+        return paxos_state_rows(self.runtime, str(self.address), clock)
+
     # -- inspection -----------------------------------------------------------
 
     @property

@@ -64,6 +64,11 @@ class ReplicatedMaster(PaxosReplica):
         self.dn_timeout_ms = dn_timeout_ms
         # All replicas must share one id scope (default: the group name).
         scope = id_scope if id_scope is not None else "+".join(sorted(group))
+        self.id_scope = scope
+        # Sharded-and-replicated deployments flip this so exports carry
+        # fs_owner claims (replicas of one group share a scope, so they
+        # never trip shard-disjointness against each other).
+        self.export_ownership = False
         super().__init__(
             address,
             group,
@@ -80,6 +85,24 @@ class ReplicatedMaster(PaxosReplica):
         rt.install("file", [(ROOT_FILE_ID, -1, "", True)])
         rt.install("repfactor", [(self.replication,)])
         rt.install("dn_timeout", [(self.dn_timeout_ms,)])
+
+    def state_export_rows(self, clock: int) -> list[tuple]:
+        """Both halves of the replicated NameNode export: the Paxos
+        cursor/log (from PaxosReplica) plus the FS chunk state."""
+        from ..monitoring.global_invariants import boomfs_state_rows
+
+        rows = super().state_export_rows(clock)
+        rows.extend(
+            boomfs_state_rows(
+                self.runtime,
+                str(self.address),
+                clock,
+                ownership_scope=(
+                    self.id_scope if self.export_ownership else None
+                ),
+            )
+        )
+        return rows
 
     # -- inspection (mirrors BoomFSMaster) ------------------------------------
 

@@ -25,9 +25,12 @@ from ..transport import (
 )
 from .cluster import Cluster
 from .failure import (
+    FAULT_CLASSES,
     CrashEvent,
     FailureSchedule,
     PartitionEvent,
+    SlowdownEvent,
+    generate_campaign,
     random_crash_schedule,
 )
 from .network import Message, Network
@@ -40,6 +43,7 @@ __all__ = [
     "CrashEvent",
     "Envelope",
     "EventHandle",
+    "FAULT_CLASSES",
     "FailureSchedule",
     "LatencyModel",
     "Message",
@@ -51,7 +55,9 @@ __all__ = [
     "Process",
     "SimTransport",
     "Simulator",
+    "SlowdownEvent",
     "Transport",
     "TransportStats",
+    "generate_campaign",
     "random_crash_schedule",
 ]

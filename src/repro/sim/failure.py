@@ -1,18 +1,40 @@
-"""Failure-schedule helpers for availability experiments.
+"""Failure-schedule helpers for availability and fault-campaign runs.
 
 The paper's availability revision (§Paxos NameNode) is evaluated by
 killing masters mid-run; this module expresses those scenarios as
-declarative schedules applied to a :class:`~repro.sim.cluster.Cluster`.
+declarative schedules applied to a :class:`~repro.sim.cluster.Cluster`
+(or any :class:`~repro.transport.base_cluster.BaseCluster` backend).
+
+Beyond single crashes and partitions, :func:`generate_campaign` builds a
+seeded multi-class schedule — correlated crash groups, rolling
+partitions, master stragglers, amnesiac disk-loss restarts, restart
+storms — for the fault-campaign observatory (:mod:`repro.campaign`).
+Every event carries a ``label`` naming its fault class, and
+:meth:`FailureSchedule.apply` accepts an ``observer`` callback that is
+invoked at fire time, which is how campaign runners timestamp injections
+on the same clock the detection signals use.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Iterable, Optional, Sequence
 
 from ..transport.base import Address
 from ..transport.base_cluster import BaseCluster
+
+#: Fault classes :func:`generate_campaign` knows how to synthesise.
+FAULT_CLASSES = (
+    "crash",
+    "partition",
+    "slowdown",
+    "amnesia",
+    "restart-storm",
+)
+
+#: ``observer(kind, ms, subject)`` callback type for ``apply``.
+FaultObserver = Callable[[str, int, str], None]
 
 
 @dataclass(frozen=True)
@@ -20,52 +42,192 @@ class CrashEvent:
     at_ms: int
     address: Address
     restart_after_ms: Optional[int] = None  # None = stays dead
+    #: Lose the disk while down: ``wipe_storage()`` runs just before the
+    #: restart, so the node comes back empty but keeps its identity —
+    #: the amnesia fault the chunk-agreement invariant exists to catch.
+    wipe: bool = False
+    label: str = "crash"
 
 
 @dataclass(frozen=True)
 class PartitionEvent:
     at_ms: int
+    #: By convention ``groups[0]`` is the isolated minority; observers
+    #: get it as the event subject.
     groups: tuple[tuple[Address, ...], ...]
     heal_after_ms: Optional[int] = None
+    label: str = "partition"
+
+
+@dataclass(frozen=True)
+class SlowdownEvent:
+    """Straggler fault: bump the victim's ``step_cost_ms`` (CPU service
+    time per delta) for ``duration_ms``, then restore the baseline."""
+
+    at_ms: int
+    address: Address
+    step_cost_ms: int
+    duration_ms: int
+    label: str = "slowdown"
 
 
 @dataclass
 class FailureSchedule:
-    """A reproducible list of crash/partition events."""
+    """A reproducible list of crash/partition/slowdown events."""
 
     crashes: list[CrashEvent] = field(default_factory=list)
     partitions: list[PartitionEvent] = field(default_factory=list)
+    slowdowns: list[SlowdownEvent] = field(default_factory=list)
+
+    # -- builders -------------------------------------------------------------
 
     def crash(
-        self, at_ms: int, address: Address, restart_after_ms: Optional[int] = None
+        self,
+        at_ms: int,
+        address: Address,
+        restart_after_ms: Optional[int] = None,
+        wipe: bool = False,
+        label: str = "crash",
     ) -> "FailureSchedule":
-        self.crashes.append(CrashEvent(at_ms, address, restart_after_ms))
+        self.crashes.append(
+            CrashEvent(at_ms, address, restart_after_ms, wipe, label)
+        )
         return self
+
+    def amnesia(
+        self, at_ms: int, address: Address, restart_after_ms: int = 500
+    ) -> "FailureSchedule":
+        """Disk-loss restart: crash, wipe storage, come back *quickly*
+        (inside the master's DataNode timeout) so stale location beliefs
+        are never retracted by liveness machinery."""
+        return self.crash(
+            at_ms,
+            address,
+            restart_after_ms=restart_after_ms,
+            wipe=True,
+            label="amnesia",
+        )
 
     def partition(
         self,
         at_ms: int,
         *groups: tuple[Address, ...],
         heal_after_ms: Optional[int] = None,
+        label: str = "partition",
     ) -> "FailureSchedule":
         self.partitions.append(
-            PartitionEvent(at_ms, tuple(tuple(g) for g in groups), heal_after_ms)
+            PartitionEvent(
+                at_ms, tuple(tuple(g) for g in groups), heal_after_ms, label
+            )
         )
         return self
 
-    def apply(self, cluster: BaseCluster) -> None:
-        """Install every event onto the cluster's clock (any backend)."""
+    def slowdown(
+        self,
+        at_ms: int,
+        address: Address,
+        step_cost_ms: int,
+        duration_ms: int,
+        label: str = "slowdown",
+    ) -> "FailureSchedule":
+        self.slowdowns.append(
+            SlowdownEvent(at_ms, address, step_cost_ms, duration_ms, label)
+        )
+        return self
+
+    # -- interrogation --------------------------------------------------------
+
+    def end_ms(self) -> int:
+        """Clock time by which every event (including repairs) has fired."""
+        ends = [0]
         for ev in self.crashes:
-            cluster.crash_at(ev.at_ms, ev.address)
-            if ev.restart_after_ms is not None:
-                cluster.restart_at(ev.at_ms + ev.restart_after_ms, ev.address)
+            ends.append(ev.at_ms + (ev.restart_after_ms or 0))
         for ev in self.partitions:
-            groups = ev.groups
-            cluster.schedule_at(
-                ev.at_ms, lambda g=groups: cluster.partition(*g)
-            )
+            ends.append(ev.at_ms + (ev.heal_after_ms or 0))
+        for ev in self.slowdowns:
+            ends.append(ev.at_ms + ev.duration_ms)
+        return max(ends)
+
+    # -- application ----------------------------------------------------------
+
+    def apply(
+        self,
+        cluster: BaseCluster,
+        observer: Optional[FaultObserver] = None,
+    ) -> None:
+        """Install every event onto the cluster's clock (any backend).
+
+        ``observer(kind, ms, subject)`` is called at fire time for every
+        fault (kind = the event's ``label``) and every repair (kinds
+        ``restart``, ``heal``, ``slowdown-end``), on the cluster clock —
+        campaign runners use it to timestamp injections against the
+        detection signals they are matched with.
+        """
+
+        def note(kind: str, subject: str) -> None:
+            if observer is not None:
+                observer(kind, cluster.now, subject)
+
+        for ev in self.crashes:
+
+            def fire_crash(ev: CrashEvent = ev) -> None:
+                cluster.crash(ev.address)
+                note(ev.label, str(ev.address))
+
+            cluster.schedule_at(ev.at_ms, fire_crash)
+            if ev.restart_after_ms is not None:
+
+                def fire_restart(ev: CrashEvent = ev) -> None:
+                    if ev.wipe:
+                        wipe = getattr(
+                            cluster.get(ev.address), "wipe_storage", None
+                        )
+                        if wipe is not None:
+                            wipe()
+                    cluster.restart(ev.address)
+                    note("restart", str(ev.address))
+
+                cluster.schedule_at(
+                    ev.at_ms + ev.restart_after_ms, fire_restart
+                )
+
+        for ev in self.partitions:
+            subject = "|".join(sorted(str(a) for a in ev.groups[0]))
+
+            def fire_partition(
+                ev: PartitionEvent = ev, subject: str = subject
+            ) -> None:
+                cluster.partition(*[list(g) for g in ev.groups])
+                note(ev.label, subject)
+
+            cluster.schedule_at(ev.at_ms, fire_partition)
             if ev.heal_after_ms is not None:
-                cluster.schedule_at(ev.at_ms + ev.heal_after_ms, cluster.heal)
+
+                def fire_heal(
+                    ev: PartitionEvent = ev, subject: str = subject
+                ) -> None:
+                    cluster.heal()
+                    note("heal", subject)
+
+                cluster.schedule_at(ev.at_ms + ev.heal_after_ms, fire_heal)
+
+        for ev in self.slowdowns:
+
+            def fire_slowdown(ev: SlowdownEvent = ev) -> None:
+                process = cluster.get(ev.address)
+                baseline = getattr(process, "step_cost_ms", None)
+                if baseline is None:
+                    return
+                process.step_cost_ms = ev.step_cost_ms
+                note(ev.label, str(ev.address))
+
+                def restore() -> None:
+                    process.step_cost_ms = baseline
+                    note("slowdown-end", str(ev.address))
+
+                cluster.schedule(ev.duration_ms, restore)
+
+            cluster.schedule_at(ev.at_ms, fire_slowdown)
 
 
 def random_crash_schedule(
@@ -83,4 +245,98 @@ def random_crash_schedule(
     for victim in victims:
         at = rng.randrange(1, max(2, horizon_ms))
         schedule.crash(at, victim, restart_after_ms=restart_after_ms)
+    return schedule
+
+
+def generate_campaign(
+    masters: Sequence[Address],
+    datanodes: Sequence[Address],
+    others: Sequence[Address] = (),
+    seed: int = 0,
+    start_ms: int = 3000,
+    slot_ms: int = 12_000,
+    classes: Iterable[str] = FAULT_CLASSES,
+    crash_group_size: int = 2,
+    crash_restart_ms: int = 5000,
+    partition_heal_ms: int = 4000,
+    slowdown_cost_ms: int = 40,
+    slowdown_duration_ms: int = 5000,
+    amnesia_restart_ms: int = 500,
+    storm_count: int = 3,
+    storm_gap_ms: int = 800,
+    storm_restart_ms: int = 1500,
+) -> FailureSchedule:
+    """Seeded multi-class fault campaign over one cluster topology.
+
+    Each requested fault class gets one sequential time slot (``slot_ms``
+    apart, starting at ``start_ms``) so detection episodes for faults
+    sharing an alarm key never overlap; victim selection inside each
+    slot flows from ``seed`` only, so the same arguments always produce
+    byte-identical schedules.
+
+    * ``crash`` — a correlated group of DataNodes fail-stops together
+      and restarts after ``crash_restart_ms``;
+    * ``partition`` — a minority of DataNodes is isolated from
+      everything else (masters, remaining DataNodes, ``others`` — pass
+      the monitor/load-generator addresses here) and healed after
+      ``partition_heal_ms``;
+    * ``slowdown`` — one master straggles: ``step_cost_ms`` jumps to
+      ``slowdown_cost_ms`` for ``slowdown_duration_ms``;
+    * ``amnesia`` — one DataNode loses its disk but restarts inside the
+      master's timeout, leaving stale chunk beliefs only the
+      cluster-scoped chunk-agreement invariant catches;
+    * ``restart-storm`` — a staggered wave of quick crash/restarts.
+    """
+    rng = random.Random(seed)
+    masters = list(masters)
+    datanodes = list(datanodes)
+    others = list(others)
+    schedule = FailureSchedule()
+    at = start_ms
+    for cls in classes:
+        if cls == "crash":
+            group = rng.sample(
+                datanodes, min(crash_group_size, len(datanodes))
+            )
+            for victim in group:
+                schedule.crash(
+                    at, victim, restart_after_ms=crash_restart_ms
+                )
+        elif cls == "partition":
+            k = 2 if len(datanodes) >= 4 else 1
+            victims = rng.sample(datanodes, k)
+            rest = [
+                a
+                for a in (*masters, *datanodes, *others)
+                if a not in victims
+            ]
+            schedule.partition(
+                at,
+                tuple(victims),
+                tuple(rest),
+                heal_after_ms=partition_heal_ms,
+            )
+        elif cls == "slowdown":
+            victim = rng.choice(masters)
+            schedule.slowdown(
+                at,
+                victim,
+                step_cost_ms=slowdown_cost_ms,
+                duration_ms=slowdown_duration_ms,
+            )
+        elif cls == "amnesia":
+            victim = rng.choice(datanodes)
+            schedule.amnesia(at, victim, restart_after_ms=amnesia_restart_ms)
+        elif cls == "restart-storm":
+            group = rng.sample(datanodes, min(storm_count, len(datanodes)))
+            for i, victim in enumerate(group):
+                schedule.crash(
+                    at + i * storm_gap_ms,
+                    victim,
+                    restart_after_ms=storm_restart_ms,
+                    label="restart-storm",
+                )
+        else:
+            raise ValueError(f"unknown fault class {cls!r}")
+        at += slot_ms
     return schedule

@@ -58,6 +58,12 @@ class Process:
         self._telemetry_dst: Optional[Address] = None
         self._telemetry_interval: Optional[int] = None
         self._telemetry_gen = 0
+        # State export loop (docs/OBSERVABILITY.md), armed by
+        # Cluster.enable_invariants: ships state_export_rows() snapshots
+        # to the monitor for cluster-scoped invariant checking.
+        self._state_dst: Optional[Address] = None
+        self._state_interval: Optional[int] = None
+        self._state_gen = 0
 
     # -- lifecycle, called by the cluster ------------------------------------
 
@@ -190,6 +196,59 @@ class Process:
             for row in rows:
                 self.send(self._telemetry_dst, "telemetry", row)
         return len(rows)
+
+    # -- state export (cluster-scoped invariants) ------------------------------
+
+    def enable_state_export(
+        self, monitor: Address, interval_ms: Optional[int] = None
+    ) -> None:
+        """Start shipping this node's :meth:`state_export_rows` snapshot
+        to ``monitor``: every ``interval_ms`` when set, and on any
+        explicit :meth:`publish_state` call.  Same loop-generation
+        discipline as telemetry (a crash kills the timer chain; the
+        restart path arms a fresh one)."""
+        self._state_dst = monitor
+        self._state_interval = interval_ms
+        self._state_gen += 1
+        if interval_ms is not None:
+            self._arm_state_export(self._state_gen)
+
+    def disable_state_export(self) -> None:
+        self._state_dst = None
+        self._state_interval = None
+        self._state_gen += 1
+
+    def _arm_state_export(self, gen: int) -> None:
+        def tick() -> None:
+            if gen != self._state_gen or self._state_interval is None:
+                return  # superseded by a newer enable/disable
+            self.publish_state()
+            self._arm_state_export(gen)
+
+        self.after(self._state_interval, tick)
+
+    def publish_state(self, clock: Optional[int] = None) -> int:
+        """Snapshot this node's safety-relevant state into
+        ``(relation, row)`` deltas and ship them to the monitor, where
+        the cluster-scoped invariant packs join them across nodes
+        (:mod:`repro.monitoring.global_invariants`).  ``clock`` defaults
+        to transport time; deterministic tests pass explicit round
+        numbers.  Returns the tuple count."""
+        if self._state_dst is None or self.crashed:
+            return 0
+        rows = self.state_export_rows(
+            self.now if clock is None else clock
+        )
+        with self.sending():
+            for relation, row in rows:
+                self.send(self._state_dst, relation, row)
+        return len(rows)
+
+    def state_export_rows(self, clock: int) -> list[tuple]:
+        """Hook: ``(relation, row)`` pairs describing this node's
+        safety-relevant state at ``clock``.  The default exports
+        nothing; components with cross-node invariants override it."""
+        return []
 
 
 class OverlogProcess(Process):

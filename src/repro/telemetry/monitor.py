@@ -118,9 +118,18 @@ class MonitorProcess(OverlogProcess):
         )
         #: Every alarm firing, in arrival order: (virtual ms, alarm row).
         self.alert_log: list[tuple[int, tuple]] = []
+        #: Every cluster-invariant violation firing (requires the
+        #: global_invariants packs — see Cluster.enable_invariants).
+        self.violation_log: list[tuple[int, tuple]] = []
 
     def bootstrap(self) -> None:
         self.runtime.watch(ALARM_RELATION, self._on_alarm)
+        # Only monitors built with the global-invariant packs declare
+        # the violation relation; plain telemetry monitors skip the hook.
+        from ..monitoring.invariants import VIOLATION_RELATION
+
+        if self.runtime.catalog.is_declared(VIOLATION_RELATION):
+            self.runtime.watch(VIOLATION_RELATION, self._on_violation)
 
     def _on_alarm(self, row: tuple) -> None:
         self.alert_log.append((self.now, row))
@@ -131,6 +140,17 @@ class MonitorProcess(OverlogProcess):
         recorder = getattr(self.cluster, "flight_recorder", None)
         if recorder is not None:
             recorder.on_alarm(
+                str(self.address), str(row[0]), subject=str(row[1])
+            )
+
+    def _on_violation(self, row: tuple) -> None:
+        self.violation_log.append((self.now, row))
+        # A cluster-invariant firing is at least as dump-worthy as an
+        # alarm; the recorder dedupes per (node, name, subject) so a
+        # violation that re-derives every export round dumps only once.
+        recorder = getattr(self.cluster, "flight_recorder", None)
+        if recorder is not None:
+            recorder.on_violation(
                 str(self.address), str(row[0]), subject=str(row[1])
             )
 
@@ -171,6 +191,17 @@ class MonitorProcess(OverlogProcess):
     def why_alarm(self, row: tuple, fmt: str = "text"):
         """Derivation DAG of one alarm: the operator's ``why()``."""
         return self.runtime.why(ALARM_RELATION, row, fmt=fmt)
+
+    def violations(self) -> list[tuple]:
+        """Distinct invariant-violation rows fired so far, sorted."""
+        return sorted({row for _ms, row in self.violation_log}, key=repr)
+
+    def why_violation(self, row: tuple, fmt: str = "text"):
+        """Derivation DAG of one cluster-invariant violation, down to
+        the per-node state exports that fired it."""
+        from ..monitoring.invariants import VIOLATION_RELATION
+
+        return self.runtime.why(VIOLATION_RELATION, row, fmt=fmt)
 
     def dashboard(self) -> str:
         from .export import render_telemetry_dashboard

@@ -51,6 +51,10 @@ class BaseCluster:
         # holds (monitor address, interval, transport/trace export flags)
         # so late-added and restarted nodes get wired automatically.
         self._telemetry: Optional[dict] = None
+        # Cluster-scoped invariants (docs/OBSERVABILITY.md): set by
+        # enable_invariants; every node ships state exports to the
+        # monitor, whose Overlog joins them across nodes.
+        self._invariants: Optional[dict] = None
         # Flight recorder (docs/OBSERVABILITY.md): set by
         # enable_flight_recorder; dumps per-node post-mortems on crash.
         self.flight_recorder = None
@@ -68,6 +72,7 @@ class BaseCluster:
         with process.sending():
             process.start()
         self._wire_telemetry(process)
+        self._wire_state_export(process)
         return process
 
     def get(self, address: Address) -> "Process":
@@ -125,9 +130,11 @@ class BaseCluster:
         )
         with process.sending():
             process.start()
-        # A crash kills the node's telemetry timer chain with the rest
-        # of its volatile state; re-arm it like any other bootstrap.
+        # A crash kills the node's telemetry and state-export timer
+        # chains with the rest of its volatile state; re-arm them like
+        # any other bootstrap.
         self._wire_telemetry(process)
+        self._wire_state_export(process)
         on_restart = getattr(process, "on_restart", None)
         if on_restart is not None:
             on_restart()
@@ -343,10 +350,83 @@ class BaseCluster:
             monitor.inject("telemetry", row)
         return len(rows)
 
+    # -- cluster-scoped invariants (docs/OBSERVABILITY.md) ---------------------
+
+    def enable_invariants(
+        self,
+        packs: Optional[Iterable[str]] = None,
+        monitor: Address = "monitor",
+        interval_ms: Optional[int] = 1000,
+    ):
+        """Turn cluster-scoped invariant checking on: every node
+        (current and future) ships its :meth:`~repro.sim.node.Process.
+        state_export_rows` snapshot to ``monitor`` every ``interval_ms``,
+        where the :mod:`~repro.monitoring.global_invariants` packs join
+        the exports across nodes and derive ``invariant_violation``
+        events (recorded on the monitor's ``violation_log``, explained
+        by ``why_violation()``, dumped by a flight recorder armed with
+        ``dump_on=("violation", ...)``).
+
+        The monitor's rule set is fixed at construction, so call this
+        *before* ``enable_telemetry`` (this creates the monitor process
+        with both the invariant packs and the default alert packs; a
+        later ``enable_telemetry`` on the same address reuses it).  If
+        a monitor already exists, its program must already declare
+        ``invariant_violation`` — e.g. built with
+        ``extra_source=global_invariants_source()`` — else this raises.
+
+        ``interval_ms=None`` arms no timers: deterministic tests drive
+        explicit rounds via ``publish_state(clock=...)`` themselves.
+        """
+        from ..monitoring.global_invariants import global_invariants_source
+        from ..telemetry.monitor import MonitorProcess
+
+        if monitor not in self.processes:
+            self.add(
+                MonitorProcess(
+                    monitor, extra_source=global_invariants_source(packs)
+                )
+            )
+        else:
+            runtime = getattr(self.processes[monitor], "runtime", None)
+            declared = runtime is not None and runtime.catalog.is_declared(
+                "invariant_violation"
+            )
+            if not declared:
+                raise RuntimeError(
+                    f"process {monitor!r} exists but its program has no "
+                    "invariant_violation relation; call enable_invariants "
+                    "before enable_telemetry, or build the monitor with "
+                    "extra_source=global_invariants_source()"
+                )
+        self._invariants = {"monitor": monitor, "interval_ms": interval_ms}
+        for process in list(self.processes.values()):
+            self._wire_state_export(process)
+        return self.processes[monitor]
+
+    def _wire_state_export(self, process: "Process") -> None:
+        cfg = self._invariants
+        if cfg is None or process.address == cfg["monitor"]:
+            return
+        process.enable_state_export(cfg["monitor"], cfg["interval_ms"])
+
+    def publish_cluster_state(self, clock: Optional[int] = None) -> int:
+        """Drive one explicit state-export round on every live node
+        (deterministic tests use this with ``interval_ms=None``).
+        Returns the total tuple count shipped."""
+        if self._invariants is None:
+            return 0
+        clock = self.now if clock is None else clock
+        total = 0
+        for process in list(self.processes.values()):
+            total += process.publish_state(clock=clock)
+        return total
+
     @property
     def monitor(self):
-        """The telemetry monitor process, if the plane is enabled."""
-        cfg = self._telemetry
+        """The telemetry/invariant monitor process, if either plane is
+        enabled."""
+        cfg = self._telemetry or self._invariants
         return self.processes.get(cfg["monitor"]) if cfg else None
 
     def telemetry_dashboard(self) -> str:

@@ -5,6 +5,7 @@ from repro.sim import (
     FailureSchedule,
     LatencyModel,
     OverlogProcess,
+    generate_campaign,
     random_crash_schedule,
 )
 
@@ -129,3 +130,137 @@ class TestNetworkAccounting:
         cluster.run_for(100)
         assert cluster.network.stats.delivered == 1
         assert cluster.network.stats.dropped_partition == 0
+
+
+class TestGenerateCampaign:
+    def _topology(self):
+        return dict(
+            masters=["m"],
+            datanodes=[f"dn{i}" for i in range(5)],
+            others=["client", "loadgen"],
+        )
+
+    def test_same_seed_same_schedule(self):
+        a = generate_campaign(**self._topology(), seed=4)
+        b = generate_campaign(**self._topology(), seed=4)
+        assert (a.crashes, a.partitions, a.slowdowns) == (
+            b.crashes,
+            b.partitions,
+            b.slowdowns,
+        )
+
+    def test_different_seed_changes_victims(self):
+        a = generate_campaign(**self._topology(), seed=0)
+        b = generate_campaign(**self._topology(), seed=1)
+        assert (a.crashes, a.partitions, a.slowdowns) != (
+            b.crashes,
+            b.partitions,
+            b.slowdowns,
+        )
+
+    def test_one_slot_per_class_and_end_ms(self):
+        sched = generate_campaign(
+            **self._topology(),
+            seed=0,
+            start_ms=1000,
+            slot_ms=5000,
+            classes=("crash", "partition"),
+        )
+        assert {ev.at_ms for ev in sched.crashes} == {1000}
+        assert [ev.at_ms for ev in sched.partitions] == [6000]
+        # last event: partition at 6000 healing after 4000
+        assert sched.end_ms() == 10_000
+
+    def test_partition_isolates_minority_from_everything(self):
+        sched = generate_campaign(
+            **self._topology(), seed=0, classes=("partition",)
+        )
+        (ev,) = sched.partitions
+        minority, rest = ev.groups
+        assert "m" in rest and "client" in rest and "loadgen" in rest
+        assert set(minority).isdisjoint(rest)
+        assert len(minority) == 2  # 5 datanodes -> minority of two
+
+    def test_unknown_class_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="unknown fault class"):
+            generate_campaign(**self._topology(), classes=("gamma-ray",))
+
+
+class TestFailureScheduleEdgeCases:
+    def test_observer_sees_faults_and_repairs_on_cluster_clock(self):
+        cluster = make_cluster(3)
+        events = []
+        (
+            FailureSchedule()
+            .crash(10, "n0", restart_after_ms=30, label="restart-storm")
+            .partition(20, ("n1",), ("n0", "n2"), heal_after_ms=40)
+            .apply(cluster, observer=lambda k, ms, s: events.append((k, ms, s)))
+        )
+        cluster.run_for(100)
+        assert events == [
+            ("restart-storm", 10, "n0"),
+            ("partition", 20, "n1"),
+            ("restart", 40, "n0"),
+            ("heal", 60, "n1"),
+        ]
+
+    def test_crash_of_already_dead_node_is_noop(self):
+        cluster = make_cluster(2)
+        (
+            FailureSchedule()
+            .crash(10, "n0")
+            .crash(15, "n0", restart_after_ms=10)
+            .apply(cluster)
+        )
+        cluster.run_for(50)
+        assert cluster.is_up("n0")
+
+    def test_second_partition_replaces_first_and_heal_is_global(self):
+        cluster = make_cluster(3)
+        (
+            FailureSchedule()
+            .partition(10, ("n0",), ("n1", "n2"))
+            .partition(20, ("n1",), ("n0", "n2"), heal_after_ms=10)
+            .apply(cluster)
+        )
+        cluster.run_for(25)
+        # second partition replaced the first: n0 rejoined the majority
+        assert cluster.network.can_reach("n0", "n2")
+        assert not cluster.network.can_reach("n1", "n2")
+        cluster.run_for(25)  # heal() restores everyone
+        assert cluster.network.can_reach("n1", "n2")
+
+    def test_slowdown_bumps_and_restores_step_cost(self):
+        cluster = make_cluster(2)
+        node = cluster.get("n0")
+        assert node.step_cost_ms == 0
+        FailureSchedule().slowdown(
+            10, "n0", step_cost_ms=25, duration_ms=40
+        ).apply(cluster)
+        cluster.run_for(20)
+        assert node.step_cost_ms == 25
+        cluster.run_for(60)
+        assert node.step_cost_ms == 0
+
+    def test_amnesia_wipes_chunks_before_restart(self):
+        from repro.boomfs import BoomFSClient, BoomFSMaster, DataNode
+
+        cluster = Cluster(seed=1)
+        cluster.add(BoomFSMaster("master", replication=2))
+        for i in range(3):
+            cluster.add(DataNode(f"dn{i}", masters=["master"]))
+        client = cluster.add(BoomFSClient("client", masters=["master"]))
+        cluster.run_for(600)
+        client.write("/a", b"chunk-payload " * 20)
+        cluster.run_for(1500)
+        victim = next(
+            f"dn{i}" for i in range(3) if cluster.get(f"dn{i}").chunks
+        )
+        FailureSchedule().amnesia(
+            cluster.now + 50, victim, restart_after_ms=200
+        ).apply(cluster)
+        cluster.run_for(1000)
+        assert cluster.is_up(victim)
+        assert cluster.get(victim).chunks == {}

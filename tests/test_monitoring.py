@@ -254,3 +254,74 @@ class TestInvariants:
         fs.rm("/a/b")
         cluster.run_for(3000)
         assert monitor.ok, monitor.violations
+
+
+class TestPaxosLocalInvariants:
+    """The paxos_invariants pack judged on a bare runtime: history
+    relations (decided_hist / promised_hist) accumulate across primary-
+    key replacement, so regressions the PK would silently absorb still
+    surface as invariant_violation rows."""
+
+    def _runtime(self):
+        from repro.monitoring import paxos_invariants_program
+        from repro.paxos import paxos_program
+
+        rt = OverlogRuntime(
+            with_invariants(paxos_program(), paxos_invariants_program()),
+            address="r1",
+        )
+        monitor = InvariantMonitor()
+        monitor.attach(rt)
+        return rt, monitor
+
+    def _settle(self, rt, now):
+        rt.tick(now=now)
+        while rt.has_pending_work:
+            rt.tick(now=now)
+
+    def test_decided_conflict_across_pk_replacement(self):
+        rt, monitor = self._runtime()
+        rt.install("decided", [(1, "op-a")])
+        self._settle(rt, 1)
+        rt.install("decided", [(1, "op-b")])  # PK silently replaces
+        self._settle(rt, 2)
+        assert ("decided-conflict", 1) in monitor.violations
+
+    def test_identical_redecision_is_silent(self):
+        rt, monitor = self._runtime()
+        rt.install("decided", [(1, "op-a")])
+        self._settle(rt, 1)
+        rt.install("decided", [(1, "op-a")])
+        self._settle(rt, 2)
+        assert monitor.ok, monitor.violations
+
+    def test_ballot_regression(self):
+        rt, monitor = self._runtime()
+        rt.install("max_promised", [(0, 7)])
+        self._settle(rt, 1)
+        rt.install("max_promised", [(0, 3)])
+        self._settle(rt, 2)
+        assert ("ballot-regression", 3) in monitor.violations
+
+    def test_ballot_ratchet_up_is_silent(self):
+        rt, monitor = self._runtime()
+        rt.install("max_promised", [(0, 3)])
+        self._settle(rt, 1)
+        rt.install("max_promised", [(0, 7)])
+        self._settle(rt, 2)
+        assert monitor.ok, monitor.violations
+
+    def test_applied_ahead_of_decided_log(self):
+        rt, monitor = self._runtime()
+        # cursor says instance 3 is next, yet instance 2 was never
+        # decided — the applied log ran ahead of consensus
+        rt.install("applied", [(0, 3)])
+        self._settle(rt, 1001)  # inv_tick timer mark
+        assert ("applied-ahead", 2) in monitor.violations
+
+    def test_applied_behind_decided_log_is_silent(self):
+        rt, monitor = self._runtime()
+        rt.install("decided", [(1, "op-a"), (2, "op-b")])
+        rt.install("applied", [(0, 3)])
+        self._settle(rt, 1001)
+        assert monitor.ok, monitor.violations
