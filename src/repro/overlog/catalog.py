@@ -5,6 +5,35 @@ subset of columns); inserting a row whose key collides with an existing row
 *replaces* that row.  An empty key spec means the whole row is the key,
 giving plain set semantics.
 
+Storage layout
+--------------
+
+Rows are Python tuples, keyed by primary key in ``_rows`` — that dict is
+the ground truth and what ``lookup_key`` (the codegen tier's PK fast path,
+see :mod:`repro.overlog.codegen`) reads with a single hash probe.  Around
+it the table keeps *derived* columnar structures, all built lazily and
+invalidated by a version counter:
+
+* a **scan snapshot** (``rows_list``): the full row list is materialized
+  once per version and shared by every scan until the next mutation.
+  Join-plan scans, ``scan()`` iterators and witness probes all reuse it,
+  so a steady-state table costs one list build per change, not per read.
+  Callers must treat the returned list as read-only.
+* **columnar projections** (``column_values``): per-column value arrays
+  aligned with the scan snapshot, for column-at-a-time consumers
+  (aggregate folds, replication scans) that would otherwise zip tuples.
+* **tuple interning**: inserted rows are canonicalized through an intern
+  table, so the equal-row tuples that circulate through deltas, banned
+  sets and provenance keys share one object and compare by identity
+  fast-path inside set/dict probes.
+
+Secondary hash indexes (single-column and composite) are built on first
+probe and maintained in place on every insert/delete — including through
+``clear()``, which empties them *without replacing the dicts*, so a
+compiled plan holding a reference from ``ensure_index`` stays correct
+across a clear-then-reinsert cycle (``index_builds`` counts from-scratch
+constructions only, and a clear does not reset it).
+
 Event relations are transient: their tuples live only for the duration of a
 single timestep and are managed by the evaluator, not stored here.
 """
@@ -38,6 +67,12 @@ class InsertResult:
     displaced: Optional[Row] = None  # row replaced by a primary-key update
 
 
+# Shared instances for the two allocation-free outcomes (callers only
+# read the fields, never mutate them).
+_NOT_INSERTED = InsertResult(inserted=False)
+_INSERTED_CLEAN = InsertResult(inserted=True)
+
+
 class Table:
     """A single materialized relation with primary-key update semantics."""
 
@@ -49,6 +84,10 @@ class Table:
         self.decl = decl
         self.name = decl.name
         self._rows: dict[Row, Row] = {}
+        # Canonical instances of stored rows: equal tuples arriving from
+        # different producers (network decode, rule projection) are folded
+        # onto one object so downstream identity fast-paths fire.
+        self._intern: dict[Row, Row] = {}
         # Lazily-built secondary hash indexes (column -> value -> rows),
         # used by the evaluator for bound-column joins; maintained on
         # every insert/delete once built.
@@ -61,6 +100,21 @@ class Table:
         # built exactly once.
         self._composite_indexes: dict[tuple[int, ...], dict[Row, set[Row]]] = {}
         self.index_builds = 0
+        # Per-column type validators, resolved once: only columns with a
+        # real check are visited per insert.
+        self._type_checks = tuple(
+            (col, check)
+            for col, tname in enumerate(decl.types)
+            if (check := _TYPE_CHECKS.get(tname)) is not None
+            and tname != "Any"
+        )
+        # Derived columnar state, invalidated by bumping ``_version``:
+        # the memoized scan snapshot and per-column projections.
+        self._version = 0
+        self._scan_cache: Optional[list[Row]] = None
+        self._scan_version = -1
+        self._columns: dict[int, list] = {}
+        self._columns_version = -1
 
     def _key_of(self, row: Row) -> Row:
         if not self.decl.keys:
@@ -73,21 +127,26 @@ class Table:
                 f"table {self.name}: arity mismatch, expected "
                 f"{self.decl.arity} got {len(row)}: {row!r}"
             )
-        for value, tname in zip(row, self.decl.types):
-            check = _TYPE_CHECKS.get(tname)
-            if check is not None and value is not None and not check(value):
+        for col, check in self._type_checks:
+            value = row[col]
+            if value is not None and not check(value):
                 raise CatalogError(
-                    f"table {self.name}: value {value!r} is not of type {tname}"
+                    f"table {self.name}: value {value!r} is not of type "
+                    f"{self.decl.types[col]}"
                 )
 
     def insert(self, row: Row) -> InsertResult:
         """Insert ``row``; a primary-key collision replaces the old row."""
         self._check_row(row)
+        row = self._intern.setdefault(row, row)
         key = self._key_of(row)
         old = self._rows.get(key)
-        if old == row:
-            return InsertResult(inserted=False)
+        if old is row or old == row:
+            return _NOT_INSERTED
         self._rows[key] = row
+        self._version += 1
+        if old is not None and self._intern.get(old) is old:
+            del self._intern[old]
         for column, index in self._indexes.items():
             if old is not None:
                 bucket = index.get(old[column])
@@ -102,21 +161,27 @@ class Table:
             index.setdefault(
                 tuple(row[c] for c in columns), set()
             ).add(row)
+        if old is None:
+            return _INSERTED_CLEAN
         return InsertResult(inserted=True, displaced=old)
 
     def delete(self, row: Row) -> bool:
         """Delete ``row`` if present (exact match).  Returns True on change."""
         key = self._key_of(row)
-        if self._rows.get(key) == row:
+        stored = self._rows.get(key)
+        if stored == row:
             del self._rows[key]
+            self._version += 1
+            if self._intern.get(stored) is stored:
+                del self._intern[stored]
             for column, index in self._indexes.items():
-                bucket = index.get(row[column])
+                bucket = index.get(stored[column])
                 if bucket is not None:
-                    bucket.discard(row)
+                    bucket.discard(stored)
             for columns, index in self._composite_indexes.items():
-                bucket = index.get(tuple(row[c] for c in columns))
+                bucket = index.get(tuple(stored[c] for c in columns))
                 if bucket is not None:
-                    bucket.discard(row)
+                    bucket.discard(stored)
             return True
         return False
 
@@ -125,18 +190,40 @@ class Table:
         on first use for that column."""
         index = self._indexes.get(column)
         if index is None:
+            index = self.ensure_single_index(column)
+        return list(index.get(value, ()))
+
+    def rows_matching_ref(self, column: int, value):
+        """Like :meth:`rows_matching` but returns the live index bucket
+        (a set) without copying.  Callers must finish iterating before
+        any table mutation — generated plan functions qualify: they are
+        pure and materialize their full output before the evaluator
+        applies staged insertions."""
+        index = self._indexes.get(column)
+        if index is None:
+            index = self.ensure_single_index(column)
+        return index.get(value, ())
+
+    def ensure_single_index(self, column: int) -> dict:
+        """Get-or-build the single-column hash index over ``column``.
+        Returned dicts stay valid for the table's lifetime: maintenance
+        (including :meth:`clear`) mutates them in place."""
+        index = self._indexes.get(column)
+        if index is None:
             index = {}
             for row in self._rows.values():
                 index.setdefault(row[column], set()).add(row)
             self._indexes[column] = index
             self.index_builds += 1
-        return list(index.get(value, ()))
+        return index
 
     def ensure_index(self, columns: tuple[int, ...]) -> dict:
         """Get-or-build the composite hash index over ``columns``.
 
         Single-column probes use the legacy per-column index so the two
-        machineries never duplicate storage for the same column.
+        machineries never duplicate storage for the same column.  As with
+        :meth:`ensure_single_index`, the returned dict is maintained in
+        place forever, so callers may cache the reference.
         """
         index = self._composite_indexes.get(columns)
         if index is None:
@@ -166,17 +253,47 @@ class Table:
         return self._rows.get(key)
 
     def scan(self) -> Iterator[Row]:
-        # Snapshot: evaluation may insert into this table mid-scan.
-        return iter(list(self._rows.values()))
+        # The snapshot list is immutable-by-convention and replaced (not
+        # mutated) on change, so handing out an iterator over it is safe
+        # even if evaluation inserts into this table mid-scan.
+        return iter(self.rows_list())
 
     def rows_list(self) -> list[Row]:
-        """Snapshot of all rows as a list (what join plans scan)."""
-        return list(self._rows.values())
+        """Memoized snapshot of all rows as a list (what join plans
+        scan).  Rebuilt at most once per table version; treat as
+        read-only — mutating the returned list corrupts every concurrent
+        scan of the same version."""
+        if self._scan_version != self._version:
+            self._scan_cache = list(self._rows.values())
+            self._scan_version = self._version
+        return self._scan_cache
+
+    def column_values(self, column: int) -> list:
+        """Columnar projection: all values of ``column``, aligned with
+        :meth:`rows_list` order.  Materialized lazily per version and
+        cached, for column-at-a-time consumers (folds, health scans)."""
+        if self._columns_version != self._version:
+            self._columns.clear()
+            self._columns_version = self._version
+        values = self._columns.get(column)
+        if values is None:
+            values = self._columns[column] = [
+                row[column] for row in self.rows_list()
+            ]
+        return values
 
     def clear(self) -> None:
+        """Remove every row.  Built indexes are emptied *in place* (the
+        dict objects survive), so plan-cached references from
+        ``ensure_index``/``ensure_single_index`` remain correct; they are
+        not rebuilt, so ``index_builds`` does not change."""
         self._rows.clear()
-        self._indexes.clear()
-        self._composite_indexes.clear()
+        self._intern.clear()
+        self._version += 1
+        for index in self._indexes.values():
+            index.clear()
+        for index in self._composite_indexes.values():
+            index.clear()
 
     def __len__(self) -> int:
         return len(self._rows)

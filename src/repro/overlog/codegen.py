@@ -1,0 +1,690 @@
+"""Source-code generation: the third evaluator tier.
+
+The closure-compiled join plans (:mod:`repro.overlog.plan`) removed the
+per-tuple AST walk, but still pay for generality on every execution: a
+chain of ``step.run`` calls, an environment *dict* copied at every
+binding step, probe values re-tupled per environment, and a Python-level
+dispatch per step kind.  This module compiles each plan one level
+further, to actual Python source: one flat ``exec``-generated function
+per (rule × delta position × output shape), where
+
+* body atoms become **nested loops and ``if`` guards** — the depth-first
+  enumeration order of a nested loop provably equals the breadth-first
+  order of the step pipeline (each step emits, per input environment, its
+  matches in candidate-row order), so outputs are bit-identical;
+* variable bindings become **Python locals** (``v_Name``), not dict
+  entries — the per-step ``dict(env)`` copy disappears entirely;
+* expressions are emitted as **inline Python expressions** with the same
+  evaluation order, short-circuiting, integer-division and
+  error-wrapping semantics as ``compile_expr`` (builtins still route
+  through ``FunctionLibrary.call``, so late registration and error
+  wrapping behave identically);
+* an atom whose probed columns cover the table's **primary key** becomes
+  a single ``Table.lookup_key`` dict get — no index, no loop, no
+  candidate list.  This is the NameNode fast path: BOOM-FS metadata
+  tables (``fqpath``, ``file``, ``fchunk``) are keyed on their first
+  column, so a request rule's body collapses to a chain of dict lookups;
+* a **delta atom nested under other loops** with equality constraints
+  against outer-bound variables gets its delta rows grouped by those
+  columns once per execution, turning the scan × delta filter loop into
+  a dict probe (buckets preserve delta order, so output order is
+  untouched).
+
+Four output shapes are emitted per plan: ``plain`` (head tuples, the
+default hot path), ``tracked`` (head tuples plus the final binding
+environment as a dict — what the provenance ledger consumes), ``envs``
+(binding environments only — the tracked-aggregate input), and ``agg``
+(pre-projected ``(group-key, agg-values)`` pairs — the untracked
+aggregate fold's input, skipping the environment dict entirely).
+Wildcard-step deduplication uses a tuple of the bound locals in sorted
+name order, which discriminates exactly like the closure tier's
+``frozenset(env.items())`` because the key set is fixed per step.
+
+Anything the emitter does not recognize raises :class:`Unsupported` and
+the caller (``RulePlans``) silently keeps the closure tier for that plan
+— codegen is an overlay, never a semantic fork.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .ast import AggSpec, Assign, Atom, BinOp, Cond, Const, Expr, FuncCall, NotIn, Rule, UnOp, Var
+from .catalog import Catalog
+from .errors import EvaluationError
+from .functions import FunctionLibrary
+
+# Binary operators that translate 1:1 to Python (same symbol, same
+# left-then-right evaluation order).
+_DIRECT_BINOPS = {"+", "-", "*", "%", "==", "!=", "<", "<=", ">", ">="}
+
+# Stateful builtins whose *call order* is observable (fresh ids, RNG
+# draws).  The nested-loop (depth-first) enumeration calls expression
+# sites in a different global interleaving than the closure tier's
+# step-at-a-time (breadth-first) order when more than one body/head
+# element contains such a call — so those rules stay on the closure
+# tier.  With at most one stateful site, environments reach it in the
+# same order under both schedules and the call sequences coincide.
+ORDER_SENSITIVE_FUNCTIONS = frozenset(
+    {"f_newid", "f_uid", "f_rand", "f_randint"}
+)
+
+
+def _expr_has_sensitive_call(e: Any) -> bool:
+    if isinstance(e, FuncCall):
+        if e.name in ORDER_SENSITIVE_FUNCTIONS:
+            return True
+        return any(_expr_has_sensitive_call(a) for a in e.args)
+    if isinstance(e, BinOp):
+        return _expr_has_sensitive_call(e.left) or _expr_has_sensitive_call(
+            e.right
+        )
+    if isinstance(e, UnOp):
+        return _expr_has_sensitive_call(e.operand)
+    return False
+
+
+def _sensitive_sites(rule: Rule) -> int:
+    """Number of body/head elements containing an order-sensitive call."""
+    sites = 0
+    for elem in rule.body:
+        if isinstance(elem, Atom):
+            exprs: tuple = elem.args
+        elif isinstance(elem, NotIn):
+            exprs = elem.atom.args
+        elif isinstance(elem, Assign):
+            exprs = (elem.expr,)
+        elif isinstance(elem, Cond):
+            exprs = (elem.expr,)
+        else:
+            return 2  # unknown element: force fallback
+        if any(_expr_has_sensitive_call(e) for e in exprs):
+            sites += 1
+    head_exprs = tuple(
+        a.var if isinstance(a, AggSpec) else a for a in rule.head.args
+    )
+    if any(_expr_has_sensitive_call(e) for e in head_exprs):
+        sites += 1
+    return sites
+
+_INLINE_CONSTS = (int, str, float, bool, type(None))
+
+
+def atom_needs_dedup(atom: Atom, table: Any = None) -> bool:
+    """Whether an atom step can map distinct rows onto the same binding
+    (and so needs the per-step dedup both tiers otherwise skip).
+
+    Only wildcard columns can collapse distinct rows.  And when the atom
+    enumerates *live rows of a keyed table* whose key columns are all
+    non-wildcard, even wildcards cannot: two distinct stored rows differ
+    in some key column, which is visible to the binding.  Pass the
+    resolved ``table`` only for sources enumerating live table rows
+    (scan / probe / pk-get) — not for delta lists, where a primary-key
+    displacement can leave two same-key row versions in one delta, nor
+    for event pools (unkeyed).
+    """
+    nonwild = {
+        col
+        for col, a in enumerate(atom.args)
+        if not (isinstance(a, Var) and a.is_wildcard)
+    }
+    if len(nonwild) == len(atom.args):
+        return False
+    if table is not None:
+        keys = table.decl.keys
+        if keys and set(keys) <= nonwild:
+            return False
+    return True
+
+
+class Unsupported(Exception):
+    """Raised when a rule shape cannot be emitted; caller falls back to
+    the closure tier."""
+
+
+def _overlog_div(a: Any, b: Any) -> Any:
+    # Integer operands use integer division (Overlog is int-heavy: chunk
+    # offsets, slot counts); any float operand gives float math.
+    if isinstance(a, int) and isinstance(b, int):
+        return a // b
+    return a / b
+
+
+def _wildcard_value() -> Any:
+    raise EvaluationError("wildcard _ used where a value is required")
+
+
+def _unbound(name: str) -> Any:
+    raise EvaluationError(f"unbound variable {name}")
+
+
+class _Emitter:
+    """Emits one flat function for one (rule, delta_pos, kind)."""
+
+    def __init__(
+        self,
+        rule: Rule,
+        delta_pos: Optional[int],
+        catalog: Catalog,
+        functions: FunctionLibrary,
+        ns: dict,
+    ):
+        self.rule = rule
+        self.delta_pos = delta_pos
+        self.catalog = catalog
+        self.ns = ns
+        self.n = 0
+        self.preamble: list[str] = []
+        self.body: list[str] = []
+        self.notes: list[str] = []
+        if "_call" not in ns:
+            ns["_call"] = functions.call
+            ns["_div"] = _overlog_div
+            ns["_wild"] = _wildcard_value
+            ns["_unbound"] = _unbound
+            ns["_E"] = ()
+
+    # -- small helpers ------------------------------------------------------
+
+    def tmp(self, prefix: str) -> str:
+        self.n += 1
+        return f"_{prefix}{self.n}"
+
+    def w(self, indent: int, text: str) -> None:
+        self.body.append("    " * indent + text)
+
+    def table_ref(self, name: str) -> str:
+        ref = f"_tbl_{name}"
+        if not ref.isidentifier():
+            raise Unsupported(f"relation name {name!r}")
+        self.ns[ref] = self.catalog.table(name)
+        return ref
+
+    def const_expr(self, value: Any) -> str:
+        if type(value) in _INLINE_CONSTS:
+            return repr(value)
+        ref = self.tmp("c")
+        self.ns[ref] = value
+        return ref
+
+    def var_local(self, name: str) -> str:
+        local = f"v_{name}"
+        if not local.isidentifier():
+            raise Unsupported(f"variable name {name!r}")
+        return local
+
+    # -- expressions --------------------------------------------------------
+
+    def expr(self, e: Expr, varmap: dict[str, str]) -> str:
+        if isinstance(e, Const):
+            return self.const_expr(e.value)
+        if isinstance(e, Var):
+            if e.is_wildcard:
+                return "_wild()"
+            local = varmap.get(e.name)
+            if local is None:
+                return f"_unbound({e.name!r})"
+            return local
+        if isinstance(e, FuncCall):
+            args = ", ".join(self.expr(a, varmap) for a in e.args)
+            if args:
+                args += ","
+            return f"_call({e.name!r}, ({args}))"
+        if isinstance(e, UnOp):
+            inner = self.expr(e.operand, varmap)
+            if e.op == "-":
+                return f"(-({inner}))"
+            if e.op == "!":
+                return f"(not ({inner}))"
+            raise Unsupported(f"unary operator {e.op}")
+        if isinstance(e, BinOp):
+            left = self.expr(e.left, varmap)
+            right = self.expr(e.right, varmap)
+            if e.op == "&&":
+                return f"bool(({left}) and ({right}))"
+            if e.op == "||":
+                return f"bool(({left}) or ({right}))"
+            if e.op == "/":
+                return f"_div({left}, {right})"
+            if e.op in _DIRECT_BINOPS:
+                return f"(({left}) {e.op} ({right}))"
+            raise Unsupported(f"operator {e.op}")
+        raise Unsupported(f"expression {e!r}")
+
+    # -- matcher (shared by positive atoms and negation) --------------------
+
+    def emit_match(
+        self,
+        atom: Atom,
+        row: str,
+        indent: int,
+        varmap: dict[str, str],
+        probed: set[int],
+        needs_len: bool,
+        bind_temp: bool,
+    ) -> int:
+        """Emit the per-row unification for ``atom`` (binds + checks, in
+        strict column order, matching ``_compile_matcher``).  Returns the
+        indent level of the matched block.  ``bind_temp`` binds new
+        variables to throwaway temps (negation) instead of ``v_`` locals.
+        """
+        conds: list[str] = []
+        if needs_len:
+            conds.append(f"len({row}) == {len(atom.args)}")
+
+        def flush(ind: int) -> int:
+            if conds:
+                self.w(ind, "if " + " and ".join(conds) + ":")
+                conds.clear()
+                return ind + 1
+            return ind
+
+        seen_new: set[str] = set()
+        for col, arg in enumerate(atom.args):
+            if isinstance(arg, Var):
+                if arg.is_wildcard:
+                    continue
+                if arg.name in varmap or arg.name in seen_new:
+                    if col not in probed:
+                        conds.append(f"{varmap[arg.name]} == {row}[{col}]")
+                else:
+                    indent = flush(indent)
+                    local = (
+                        self.tmp("t") if bind_temp else self.var_local(arg.name)
+                    )
+                    self.w(indent, f"{local} = {row}[{col}]")
+                    varmap[arg.name] = local
+                    seen_new.add(arg.name)
+            elif isinstance(arg, Const):
+                if col not in probed:
+                    conds.append(f"{self.const_expr(arg.value)} == {row}[{col}]")
+            else:
+                conds.append(f"({self.expr(arg, varmap)}) == {row}[{col}]")
+        return flush(indent)
+
+    # -- probe analysis -----------------------------------------------------
+
+    def probe_spec(
+        self, atom: Atom, varmap: dict[str, str]
+    ) -> list[tuple[int, str]]:
+        """(column, value-expression) pairs usable as an index probe —
+        every constant argument and every previously-bound variable (the
+        same most-bound composite key ``_probe_spec`` picks)."""
+        out: list[tuple[int, str]] = []
+        for col, arg in enumerate(atom.args):
+            if isinstance(arg, Const):
+                out.append((col, self.const_expr(arg.value)))
+            elif (
+                isinstance(arg, Var)
+                and not arg.is_wildcard
+                and arg.name in varmap
+            ):
+                out.append((col, varmap[arg.name]))
+        return out
+
+    def pk_cols(self, atom: Atom, probe_cols: tuple[int, ...]) -> Optional[tuple[int, ...]]:
+        """The table's key columns when the probe covers them (the PK
+        fast path: the probe pins the whole primary key, so at most one
+        row can match — fetch it with one dict get)."""
+        table = self.catalog.tables.get(atom.name)
+        if table is None:
+            return None
+        keys = table.decl.keys or tuple(range(table.decl.arity))
+        if keys and set(keys) <= set(probe_cols):
+            return keys
+        return None
+
+    def needs_wildcard_dedup(self, atom: Atom, source: str) -> bool:
+        """Whether this atom step needs the wildcard dedup set.
+
+        Shares :func:`atom_needs_dedup`'s proof: when live rows of a
+        keyed table are enumerated and the non-wildcard columns cover
+        the primary key, duplicates are impossible and the dedup is a
+        skippable no-op.  Delta lists are excluded — a primary-key
+        displacement can put two same-key row versions into one delta.
+        """
+        return atom_needs_dedup(
+            atom,
+            None if source == "delta" else self.catalog.tables.get(atom.name),
+        )
+
+    # -- body elements ------------------------------------------------------
+
+    def emit_atom(
+        self, atom: Atom, source: str, indent: int, varmap: dict[str, str]
+    ) -> int:
+        materialized = self.catalog.is_materialized(atom.name)
+        row = self.tmp("r")
+        ban = None
+        if source == "post":
+            ban = self.tmp("ban")
+            self.preamble.append(
+                f"{ban} = None if exclude is None else exclude.get({atom.name!r})"
+            )
+
+        probe: list[tuple[int, str]] = []
+        if materialized and source != "delta":
+            probe = self.probe_spec(atom, varmap)
+        probe_cols = tuple(c for c, _ in probe)
+        probed: set[int] = set(probe_cols)
+        needs_len = True
+        pk = self.pk_cols(atom, probe_cols) if probe else None
+
+        if source == "delta":
+            # Scan × delta joins: when the delta atom has equality
+            # constraints against variables bound by enclosing loops (or
+            # constants), group the delta rows by those columns once in
+            # the preamble and probe with a dict get — O(table + delta)
+            # instead of O(table × delta).  Buckets keep delta order, so
+            # for any fixed outer binding the matching rows come out in
+            # exactly the order the plain filter loop would produce.
+            group: list[tuple[int, str]] = []
+            has_bound_var = False
+            for col, arg in enumerate(atom.args):
+                if isinstance(arg, Const):
+                    group.append((col, self.const_expr(arg.value)))
+                elif (
+                    isinstance(arg, Var)
+                    and not arg.is_wildcard
+                    and arg.name in varmap
+                ):
+                    group.append((col, varmap[arg.name]))
+                    has_bound_var = True
+            if has_bound_var:
+                didx = self.tmp("didx")
+                dr = self.tmp("dr")
+                key = ", ".join(f"{dr}[{c}]" for c, _ in group) + ","
+                self.preamble.append(f"{didx} = {{}}")
+                self.preamble.append(f"for {dr} in delta_rows:")
+                self.preamble.append(
+                    f"    if len({dr}) == {len(atom.args)}:"
+                )
+                self.preamble.append(
+                    f"        {didx}.setdefault(({key}), []).append({dr})"
+                )
+                vals = ", ".join(v for _, v in group) + ","
+                cols = ", ".join(str(c) for c, _ in group)
+                self.notes.append(f"{atom.name}: delta grouped [{cols}]")
+                self.w(indent, f"for {row} in {didx}.get(({vals}), _E):")
+                indent += 1
+                probed.update(c for c, _ in group)
+                needs_len = False
+            else:
+                self.notes.append(f"{atom.name}: delta")
+                self.w(indent, f"for {row} in delta_rows:")
+                indent += 1
+        elif pk is not None:
+            # lookup_key pins only the key columns, but the closure tier's
+            # composite index pinned *every* probed column — so the non-key
+            # probed checks run here, before any matcher op, keeping the
+            # candidate set (and hence downstream expression evaluations)
+            # identical to the closure tier's.
+            by_col = dict(probe)
+            key_expr = ", ".join(by_col[c] for c in pk) + ","
+            tbl = self.table_ref(atom.name)
+            self.notes.append(
+                f"{atom.name}: pk-get [{', '.join(map(str, pk))}]"
+            )
+            self.w(indent, f"{row} = {tbl}.lookup_key(({key_expr}))")
+            guard = [f"{row} is not None"] + [
+                f"{val} == {row}[{col}]"
+                for col, val in probe
+                if col not in pk
+            ]
+            self.w(indent, "if " + " and ".join(guard) + ":")
+            indent += 1
+            needs_len = False
+        elif materialized and probe:
+            tbl = self.table_ref(atom.name)
+            self.notes.append(
+                f"{atom.name}: probe [{', '.join(map(str, probe_cols))}]"
+            )
+            if len(probe) == 1:
+                col, val = probe[0]
+                # _ref: the live index bucket, uncopied — safe because
+                # this function materializes its output before returning.
+                self.w(
+                    indent,
+                    f"for {row} in {tbl}.rows_matching_ref({col}, {val}):",
+                )
+            else:
+                cols = ", ".join(str(c) for c in probe_cols) + ","
+                vals = ", ".join(v for _, v in probe) + ","
+                self.w(
+                    indent,
+                    f"for {row} in {tbl}.rows_matching_cols(({cols}), ({vals})):",
+                )
+            indent += 1
+            needs_len = False
+        elif materialized:
+            tbl = self.table_ref(atom.name)
+            self.notes.append(f"{atom.name}: scan")
+            self.w(indent, f"for {row} in {tbl}.rows_list():")
+            indent += 1
+            needs_len = False
+        else:
+            self.notes.append(f"{atom.name}: scan-events")
+            self.w(
+                indent,
+                f"for {row} in ev._event_pool.get({atom.name!r}, _E):",
+            )
+            indent += 1
+
+        if ban is not None:
+            self.w(indent, f"if {ban} is None or {row} not in {ban}:")
+            indent += 1
+
+        indent = self.emit_match(
+            atom, row, indent, varmap, probed, needs_len, bind_temp=False
+        )
+
+        if self.needs_wildcard_dedup(atom, source):
+            # Wildcard columns can map distinct rows onto the same
+            # binding; dedup on the bound locals (fixed key set ⇒ same
+            # discriminator as the closure tier's frozenset(env.items())).
+            seen = self.tmp("seen")
+            self.preamble.append(f"{seen} = set()")
+            sig = self.tmp("sig")
+            vals = ", ".join(varmap[k] for k in sorted(varmap))
+            self.w(indent, f"{sig} = ({vals + ',' if vals else ''})")
+            self.w(indent, f"if {sig} not in {seen}:")
+            indent += 1
+            self.w(indent, f"{seen}.add({sig})")
+        return indent
+
+    def emit_neg(self, atom: Atom, indent: int, varmap: dict[str, str]) -> int:
+        table = self.catalog.tables.get(atom.name)
+        probe = self.probe_spec(atom, varmap) if table is not None else []
+        probe_cols = tuple(c for c, _ in probe)
+        pk = self.pk_cols(atom, probe_cols) if probe else None
+        hit = self.tmp("hit")
+        nrow = self.tmp("n")
+        overlay = dict(varmap)
+        self.w(indent, f"{hit} = False")
+        if pk is not None:
+            by_col = dict(probe)
+            key_expr = ", ".join(by_col[c] for c in pk) + ","
+            tbl = self.table_ref(atom.name)
+            self.notes.append(
+                f"notin {atom.name}: pk-get [{', '.join(map(str, pk))}]"
+            )
+            self.w(indent, f"{nrow} = {tbl}.lookup_key(({key_expr}))")
+            guard = [f"{nrow} is not None"] + [
+                f"{val} == {nrow}[{col}]"
+                for col, val in probe
+                if col not in pk
+            ]
+            self.w(indent, "if " + " and ".join(guard) + ":")
+            inner = self.emit_match(
+                atom, nrow, indent + 1, overlay, set(probe_cols),
+                needs_len=False, bind_temp=True,
+            )
+            self.w(inner, f"{hit} = True")
+        else:
+            if table is not None and probe:
+                tbl = self.table_ref(atom.name)
+                self.notes.append(
+                    f"notin {atom.name}: probe "
+                    f"[{', '.join(map(str, probe_cols))}]"
+                )
+                if len(probe) == 1:
+                    col, val = probe[0]
+                    cand = f"{tbl}.rows_matching_ref({col}, {val})"
+                else:
+                    cols = ", ".join(str(c) for c in probe_cols) + ","
+                    vals = ", ".join(v for _, v in probe) + ","
+                    cand = f"{tbl}.rows_matching_cols(({cols}), ({vals}))"
+                needs_len = False
+            elif table is not None:
+                tbl = self.table_ref(atom.name)
+                self.notes.append(f"notin {atom.name}: scan")
+                cand = f"{tbl}.rows_list()"
+                needs_len = False
+            else:
+                self.notes.append(f"notin {atom.name}: scan-events")
+                cand = f"ev._event_pool.get({atom.name!r}, _E)"
+                needs_len = True
+            self.w(indent, f"for {nrow} in {cand}:")
+            inner = self.emit_match(
+                atom, nrow, indent + 1, overlay, set(probe_cols),
+                needs_len=needs_len, bind_temp=True,
+            )
+            self.w(inner, f"{hit} = True")
+            self.w(inner, "break")
+        self.w(indent, f"if not {hit}:")
+        return indent + 1
+
+    # -- whole function -----------------------------------------------------
+
+    def emit_function(self, name: str, kind: str) -> str:
+        """Emit one function and return its source.  ``kind`` picks the
+        output shape: ``plain`` -> (rel, row), ``tracked`` -> (rel, row,
+        env-dict), ``envs`` -> env-dict only."""
+        rule = self.rule
+        self.preamble = []
+        self.body = []
+        varmap: dict[str, str] = {}
+        indent = 1
+        pos = 0
+        for elem in rule.body:
+            if isinstance(elem, Atom):
+                if self.delta_pos is None:
+                    source = "full"
+                elif pos == self.delta_pos:
+                    source = "delta"
+                elif pos > self.delta_pos:
+                    source = "post"
+                else:
+                    source = "full"
+                indent = self.emit_atom(elem, source, indent, varmap)
+                pos += 1
+            elif isinstance(elem, NotIn):
+                indent = self.emit_neg(elem.atom, indent, varmap)
+            elif isinstance(elem, Assign):
+                vname = elem.var.name
+                if vname in varmap:
+                    self.w(
+                        indent,
+                        f"if {varmap[vname]} == ({self.expr(elem.expr, varmap)}):",
+                    )
+                    indent += 1
+                else:
+                    local = self.var_local(vname)
+                    self.w(indent, f"{local} = {self.expr(elem.expr, varmap)}")
+                    varmap[vname] = local
+            elif isinstance(elem, Cond):
+                self.w(indent, f"if ({self.expr(elem.expr, varmap)}):")
+                indent += 1
+            else:
+                raise Unsupported(f"body element {elem!r}")
+
+        env_dict = (
+            "{" + ", ".join(f"{k!r}: {v}" for k, v in varmap.items()) + "}"
+        )
+        if kind == "envs":
+            self.w(indent, f"_append({env_dict})")
+        elif kind == "agg":
+            # Pre-projected fold input for AggregatePlan: one
+            # (group-key tuple, aggregated-values) pair per distinct
+            # binding, in the exact positional order of ``group_fns`` /
+            # ``agg_specs`` — wildcard count<*> slots carry None, exactly
+            # like the closure fold's per-env extraction.  Single-spec
+            # rules (the common case) carry the bare value instead of a
+            # 1-tuple; ``AggregatePlan.execute`` folds scalars directly.
+            keys = ", ".join(
+                self.expr(a, varmap)
+                for a in rule.head.args
+                if not isinstance(a, AggSpec)
+            )
+            specs = [a for a in rule.head.args if isinstance(a, AggSpec)]
+            vals = [
+                "None" if a.var.is_wildcard else self.expr(a.var, varmap)
+                for a in specs
+            ]
+            key_t = f"({keys + ',' if keys else ''})"
+            if len(vals) == 1:
+                val_t = vals[0]
+            else:
+                val_t = f"({', '.join(vals)}{',' if vals else ''})"
+            self.w(indent, f"_append(({key_t}, {val_t}))")
+        else:
+            if any(isinstance(a, AggSpec) for a in rule.head.args):
+                raise Unsupported("aggregate head in tuple-emitting plan")
+            args = ", ".join(self.expr(a, varmap) for a in rule.head.args)
+            head_tuple = f"({args + ',' if args else ''})"
+            if kind == "tracked":
+                self.w(
+                    indent,
+                    f"_append(({rule.head.name!r}, {head_tuple}, {env_dict}))",
+                )
+            else:
+                self.w(indent, f"_append(({rule.head.name!r}, {head_tuple}))")
+
+        lines = [f"def {name}(ev, delta_rows=(), exclude=None):"]
+        lines += ["    _out = []", "    _append = _out.append"]
+        lines += ["    " + p for p in self.preamble]
+        lines += self.body
+        lines += ["    return _out"]
+        return "\n".join(lines)
+
+
+def generate_plan_source(
+    rule: Rule,
+    delta_pos: Optional[int],
+    catalog: Catalog,
+    functions: FunctionLibrary,
+    kinds: tuple[str, ...],
+) -> tuple[dict[str, Any], str]:
+    """Compile one (rule, delta position) to flat functions.
+
+    Returns ``(fns, source)`` where ``fns`` maps each requested kind
+    (``plain`` / ``tracked`` / ``envs``) to an executable function with
+    the ``(ev, delta_rows, exclude)`` signature of ``JoinPlan.execute``.
+    Raises :class:`Unsupported` when the rule shape cannot be emitted.
+    """
+    if _sensitive_sites(rule) > 1:
+        raise Unsupported(
+            "multiple order-sensitive builtin call sites (kept on the "
+            "closure tier to preserve the stateful call sequence)"
+        )
+    ns: dict[str, Any] = {}
+    tag = "full" if delta_pos is None else f"delta@{delta_pos}"
+    chunks: list[str] = []
+    names: dict[str, str] = {}
+    emitter = _Emitter(rule, delta_pos, catalog, functions, ns)
+    for kind in kinds:
+        fn_name = f"_{rule.name}_{tag.replace('@', '_')}_{kind}"
+        if not fn_name.isidentifier():
+            fn_name = f"_plan_{kind}"
+        emitter.notes = []
+        chunks.append(emitter.emit_function(fn_name, kind))
+        names[kind] = fn_name
+    header = [f"# rule {rule.name} [{tag}] :: {rule}"]
+    header += [f"#   {note}" for note in emitter.notes]
+    source = "\n".join(header) + "\n" + "\n\n".join(chunks) + "\n"
+    try:
+        code = compile(source, f"<codegen:{rule.name}:{tag}>", "exec")
+    except SyntaxError as exc:  # pragma: no cover - emitter bug guard
+        raise Unsupported(f"emitted invalid source: {exc}") from exc
+    exec(code, ns)
+    return {kind: ns[names[kind]] for kind in kinds}, source

@@ -178,6 +178,7 @@ class Evaluator:
         local_address: Any,
         naive: bool = False,
         compile_plans: bool = True,
+        compile_mode: Optional[str] = None,
     ):
         self.catalog = catalog
         self.functions = functions
@@ -190,13 +191,42 @@ class Evaluator:
         # sound for rules calling nondeterministic builtins (f_uid etc.),
         # which rely on exactly-once firing.
         self.naive = naive
-        # Compiled join plans (repro.overlog.plan) are the default hot
-        # path; ``compile_plans=False`` falls back to the AST-walking
-        # interpreter, kept as the reference the differential tests (and
-        # the A1 ablation) compare against.  Naive mode always
-        # interprets — it IS the reference semantics.
+        # Evaluator tiers, fastest first:
+        #
+        # * ``"source"`` (default): plans additionally carry per-rule
+        #   Python functions generated by :mod:`repro.overlog.codegen`
+        #   and exec-compiled at install time — flat nested loops with no
+        #   per-step environment lists.  Rules the generator cannot prove
+        #   equivalent for (see codegen.Unsupported) silently run on the
+        #   closure tier.
+        # * ``"closure"``: the compiled step-pipeline plans of
+        #   repro.overlog.plan alone.
+        # * ``"interpreter"``: the AST-walking reference path, kept as
+        #   what the differential tests (and the A1 ablation) compare
+        #   against.  Naive mode always interprets — it IS the reference
+        #   semantics.
+        #
+        # ``compile_mode`` picks a tier explicitly and wins over the
+        # legacy ``compile_plans`` flag; ``compile_plans=False`` is the
+        # historical spelling of ``compile_mode="interpreter"``.
+        if compile_mode is not None and compile_mode not in (
+            "source", "closure", "interpreter"
+        ):
+            raise ValueError(
+                f"compile_mode must be 'source', 'closure' or "
+                f"'interpreter', got {compile_mode!r}"
+            )
+        if naive:
+            mode = None
+        elif compile_mode is not None:
+            mode = None if compile_mode == "interpreter" else compile_mode
+        elif compile_plans:
+            mode = "source"
+        else:
+            mode = None
+        self.compile_mode = mode if mode is not None else "interpreter"
         self.planner: Optional[PlanCache] = (
-            PlanCache(catalog, functions) if compile_plans and not naive else None
+            PlanCache(catalog, functions, mode=mode) if mode is not None else None
         )
         # Optional observability hooks (attach_ledger / attach_profiler):
         # a provenance DerivationLedger recording every head derivation,
@@ -262,6 +292,97 @@ class Evaluator:
         if self.planner is not None:
             self.planner.invalidate()
             self.planner.compile_program(rules)
+        # Per-stratum execution structures, resolved once at install time
+        # so the per-pass hot loop touches no rule metadata: the
+        # normal/aggregate split (``is_aggregate`` walks the head args),
+        # each rule's compiled plans, and a delta dispatch map — relation
+        # name -> the (rule-index, position, rule, delta-plan) tuples
+        # whose positive atom at ``position`` reads it.  The semi-naive
+        # inner loop consults the map instead of scanning every rule ×
+        # position per iteration; candidates are sorted by (rule-index,
+        # position) at use, reproducing the exact staging order of the
+        # per-rule loop it replaces.
+        planner = self.planner
+        self._stratum_exec: list[dict[str, Any]] = []
+        for bucket in self.stratum_buckets:
+            normal = [r for r in bucket if not r.is_aggregate]
+            aggs = [r for r in bucket if r.is_aggregate]
+            plans_of = (
+                {id(r): planner.plans_for(r) for r in bucket}
+                if planner is not None
+                else {}
+            )
+            dispatch: dict[str, list] = {}
+            readers: dict[str, list[int]] = {}
+            for ridx, rule in enumerate(normal):
+                rp = plans_of.get(id(rule))
+                for pos, atom in enumerate(rule.positives):
+                    # Predicate-dispatch hint: a constant column in the
+                    # delta atom (e.g. the op-type string of request
+                    # rules).  The per-pass loop buckets the delta rows by
+                    # that column once and skips rules whose constant has
+                    # no matching rows — the plan itself re-checks the
+                    # constant, so the hint is purely a filter.
+                    ccol = cval = None
+                    for col, arg in enumerate(atom.args):
+                        if isinstance(arg, Const):
+                            try:
+                                hash(arg.value)
+                            except TypeError:
+                                continue
+                            ccol, cval = col, arg.value
+                            break
+                    dispatch.setdefault(atom.name, []).append(
+                        (ridx, pos, rule,
+                         None if rp is None else rp.by_pos[pos],
+                         ccol, cval)
+                    )
+                seen_rels: set[str] = set()
+                for atom in (*rule.positives, *rule.negatives):
+                    if atom.name not in seen_rels:
+                        seen_rels.add(atom.name)
+                        readers.setdefault(atom.name, []).append(ridx)
+            # Aggregate entries carry event-atom constant hints: when an
+            # aggregate body reads an event relation with a constant
+            # column (the request op-type pattern) and this step's pool
+            # has no matching event, the body cannot bind and the whole
+            # evaluation is skipped.
+            agg_entries = []
+            for r in aggs:
+                hints = []
+                for atom in r.positives:
+                    if self.catalog.is_materialized(atom.name):
+                        continue
+                    for col, arg in enumerate(atom.args):
+                        if isinstance(arg, Const):
+                            try:
+                                hash(arg.value)
+                            except TypeError:
+                                continue
+                            hints.append((atom.name, col, arg.value))
+                            break
+                agg_entries.append(
+                    (r, plans_of.get(id(r)), tuple(hints))
+                )
+            self._stratum_exec.append({
+                "normal": [(r, plans_of.get(id(r))) for r in normal],
+                "aggs": agg_entries,
+                "normal_rules": normal,
+                "agg_rules": aggs,
+                "dispatch": dispatch,
+                # relation -> rule indexes reading it anywhere (positive
+                # or negated) — the full-dirty fan-out set.
+                "readers": readers,
+                # Every relation any rule in the stratum reads (positive,
+                # negated, or inside an aggregate body): when none of them
+                # is active this step, the stratum cannot derive anything
+                # and its fixpoint is skipped outright.
+                "read_rels": frozenset(
+                    atom.name
+                    for r in bucket
+                    for atom in (*r.positives, *r.negatives)
+                ),
+            })
 
     def add_rule(self, rule: Rule) -> None:
         """Install one additional rule (invalidates the plan cache)."""
@@ -302,8 +423,12 @@ class Evaluator:
 
     def attach_profiler(self, profiler) -> None:
         """Attach a sampled :class:`PlanProfiler` (no-op for the
-        interpreted evaluator, which has no plans to time)."""
+        interpreted evaluator, which has no plans to time).  The plan
+        cache keeps the reference so a program swap flushes stale
+        (rule, tag)-keyed stats along with the plans."""
         self._profiler = profiler
+        if self.planner is not None:
+            self.planner.profiler = profiler
 
     # -- validation ---------------------------------------------------------
 
@@ -447,7 +572,7 @@ class Evaluator:
             if res.inserted:
                 self._record_fired(rel, row)
                 self._active.add(rel)
-                self._accumulated.setdefault(rel, set()).add(row)
+                self._add_accumulated(rel, row)
                 if res.displaced is not None:
                     # A primary-key update removed a row: negation readers
                     # in earlier strata (or earlier steps) may now derive —
@@ -461,17 +586,33 @@ class Evaluator:
                             "displaced by primary-key update",
                         )
             return res.inserted
-        pool = self._event_pool.setdefault(rel, set())
-        if row in pool:
+        pools = self._event_pool
+        pool = pools.get(rel)
+        if pool is None:
+            pool = pools[rel] = set()
+        elif row in pool:
             return False
         pool.add(row)
         self._record_fired(rel, row)
         self._active.add(rel)
-        self._accumulated.setdefault(rel, set()).add(row)
+        self._add_accumulated(rel, row)
         return True
 
+    def _add_accumulated(self, rel: str, row: Row) -> None:
+        accumulated = self._accumulated
+        rows = accumulated.get(rel)
+        if rows is None:
+            accumulated[rel] = {row}
+        else:
+            rows.add(row)
+
     def _record_fired(self, rel: str, row: Row) -> None:
-        self._result.fired.setdefault(rel, []).append(row)
+        fired = self._result.fired
+        rows = fired.get(rel)
+        if rows is None:
+            fired[rel] = [row]
+        else:
+            rows.append(row)
         self._result.derivation_count += 1
 
     # -- stratum fixpoint ---------------------------------------------------
@@ -493,25 +634,68 @@ class Evaluator:
         builtins like ``f_uid()`` are nondeterministic: re-firing the same
         binding would mint spurious fresh identifiers.
         """
-        normal_rules = [r for r in bucket if not r.is_aggregate]
-        agg_rules = [r for r in bucket if r.is_aggregate]
+        info = self._stratum_exec[index]
         if self.naive:
-            self._run_stratum_naive(index, normal_rules, agg_rules)
+            self._run_stratum_naive(
+                index, info["normal_rules"], info["agg_rules"]
+            )
             return
 
         self._cur_stratum = index
         self._cur_pass = 0
-        # Staged items are (rule, derivation) where derivation is
-        # (rel, row) — or (rel, row, body_tuples) under the provenance
-        # ledger's tracked execution.
-        staged: list[tuple[Rule, tuple]] = []
+        # Idle-stratum early exit: ``_active`` is a superset of both the
+        # full-dirty set and the accumulated-delta relations, so a stratum
+        # reading none of it can derive nothing — skip the snapshot,
+        # candidate build, and empty dispatch (most strata, most steps).
+        if self._active.isdisjoint(info["read_rels"]):
+            self._record_iterations(index, 1)
+            return
+        # With no observers attached the per-derivation dispatch in
+        # ``_derive`` is pure overhead; call the generated source (or the
+        # closure pipeline) directly.  Sampled/tracked runs keep the full
+        # path so ledger and profiler see every execution.
+        fast = (
+            self.planner is not None
+            and self._profiler is None
+            and self._ledger is None
+        )
+        # Staged entries are (rule, derivations) batches where each
+        # derivation is (rel, row) — or (rel, row, body_tuples) under the
+        # provenance ledger's tracked execution.  Batching by rule keeps
+        # the dispatch order identical while skipping one tuple
+        # allocation per derived head.
+        staged: list[tuple[Rule, list]] = []
         # Aggregates read only lower strata (guaranteed by stratification),
         # so one evaluation suffices; their outputs seed the delta.
-        for rule in agg_rules:
+        for rule, rp, hints in info["aggs"]:
             if not self._rule_is_active(rule):
                 continue
-            for item in self._derive_aggregate(rule):
-                staged.append((rule, item))
+            if fast:
+                if hints:
+                    # Event-atom constant hint: no matching event in the
+                    # pool means the body cannot bind — the plan would
+                    # return [] after scanning; skip the call.
+                    pool_miss = False
+                    for rel, col, val in hints:
+                        hit = False
+                        pool = self._event_pool.get(rel)
+                        if pool:
+                            for r in pool:
+                                if len(r) > col and r[col] == val:
+                                    hit = True
+                                    break
+                        if not hit:
+                            pool_miss = True
+                            break
+                    if pool_miss:
+                        continue
+                items = rp.agg.execute(self)
+            else:
+                items = self._derive_aggregate(
+                    rule, None if rp is None else rp.agg
+                )
+            if items:
+                staged.append((rule, items))
 
         # Iteration 0: rules touching a non-monotonically changed relation
         # are fully re-evaluated; everything else is delta-joined against
@@ -521,21 +705,80 @@ class Evaluator:
         # own loop keeps growing ``_accumulated``.  Each relation's delta
         # is materialized as a list once and shared by every rule in the
         # pass.
-        acc = {rel: set(rows) for rel, rows in self._accumulated.items()}
-        acc_lists = {rel: list(rows) for rel, rows in acc.items()}
-        for rule in normal_rules:
-            if self._rule_needs_full_eval(rule):
-                for item in self._derive(
-                    rule, delta_pos=None, delta_rows=()
-                ):
-                    staged.append((rule, item))
-                continue
-            for pos, atom in enumerate(rule.positives):
-                rows = acc_lists.get(atom.name)
-                if not rows:
-                    continue
-                for item in self._derive(rule, pos, rows, exclude=acc):
-                    staged.append((rule, item))
+        # Only relations this stratum actually reads matter: the exclude
+        # view is consulted solely for body atoms, all in ``read_rels``.
+        # The live sets are referenced *without copying*: plan executions
+        # are pure, staged insertions land only after every iteration-0
+        # candidate has run, and ``acc`` is not consulted after that.
+        read = info["read_rels"]
+        acc = {
+            rel: rows
+            for rel, rows in self._accumulated.items()
+            if rel in read
+        }
+        normal = info["normal"]
+        dispatch = info["dispatch"]
+        # Rules reading a non-monotonically changed relation run a full
+        # evaluation (entered at pseudo-position -1); everything else is
+        # delta-joined per reading position.  One merged (rule-index,
+        # position) sort reproduces the rule-major staging order of the
+        # all-rules loop this replaces.
+        need_full: set[int] = set()
+        if self._full_dirty:
+            readers = info["readers"]
+            for rel in self._full_dirty:
+                ridxs = readers.get(rel)
+                if ridxs:
+                    need_full.update(ridxs)
+        candidates: list[tuple] = []
+        for ridx in need_full:
+            rule, rp = normal[ridx]
+            candidates.append(
+                (ridx, -1, rule, None if rp is None else rp.full, ())
+            )
+        for rel, rows in acc.items():
+            entries = dispatch.get(rel)
+            if entries:
+                rows_list = list(rows)
+                buckets: dict[int, dict] = {}
+                for ridx, pos, rule, plan, ccol, cval in entries:
+                    if ridx in need_full:
+                        continue
+                    if fast and ccol is not None:
+                        # Predicate dispatch: hand the rule only the
+                        # delta rows matching its constant column, and
+                        # skip the call entirely when there are none.
+                        b = buckets.get(ccol)
+                        if b is None:
+                            b = buckets[ccol] = {}
+                            for r in rows_list:
+                                if len(r) > ccol:
+                                    b.setdefault(r[ccol], []).append(r)
+                        sub = b.get(cval)
+                        if not sub:
+                            continue
+                        candidates.append((ridx, pos, rule, plan, sub))
+                    else:
+                        candidates.append((ridx, pos, rule, plan, rows_list))
+        # Plain tuple sort: (rule-index, position) pairs are unique, so
+        # comparison never reaches the Rule element.
+        candidates.sort()
+        for _ridx, pos, rule, plan, rows_list in candidates:
+            excl = None if pos < 0 else acc
+            if fast:
+                fn = plan.src_execute
+                if fn is not None:
+                    items = fn(self, rows_list, excl)
+                else:
+                    items = plan.execute(self, rows_list, excl)
+            elif pos < 0:
+                items = self._derive(
+                    rule, delta_pos=None, delta_rows=(), plan=plan
+                )
+            else:
+                items = self._derive(rule, pos, rows_list, exclude=acc, plan=plan)
+            if items:
+                staged.append((rule, items))
 
         delta = self._apply_staged(staged)
         iterations = 0
@@ -547,16 +790,45 @@ class Evaluator:
                 )
             self._cur_pass = iterations
             staged = []
-            delta_lists = {rel: list(rows) for rel, rows in delta.items()}
-            for rule in normal_rules:
-                for pos, atom in enumerate(rule.positives):
-                    rows = delta_lists.get(atom.name)
-                    if not rows:
-                        continue
-                    for item in self._derive(
-                        rule, pos, rows, exclude=delta
-                    ):
-                        staged.append((rule, item))
+            # Only (rule, pos) pairs whose atom's relation actually has a
+            # delta run this pass; sorting restores the per-rule staging
+            # order the dispatch map flattened away.
+            candidates: list[tuple] = []
+            for rel, rows in delta.items():
+                entries = dispatch.get(rel)
+                if entries:
+                    rows_list = list(rows)
+                    buckets = {}
+                    for ridx, pos, rule, plan, ccol, cval in entries:
+                        if fast and ccol is not None:
+                            b = buckets.get(ccol)
+                            if b is None:
+                                b = buckets[ccol] = {}
+                                for r in rows_list:
+                                    if len(r) > ccol:
+                                        b.setdefault(r[ccol], []).append(r)
+                            sub = b.get(cval)
+                            if not sub:
+                                continue
+                            candidates.append((ridx, pos, rule, plan, sub))
+                        else:
+                            candidates.append(
+                                (ridx, pos, rule, plan, rows_list)
+                            )
+            candidates.sort()
+            for _ridx, pos, rule, plan, rows_list in candidates:
+                if fast:
+                    fn = plan.src_execute
+                    if fn is not None:
+                        items = fn(self, rows_list, delta)
+                    else:
+                        items = plan.execute(self, rows_list, delta)
+                else:
+                    items = self._derive(
+                        rule, pos, rows_list, exclude=delta, plan=plan
+                    )
+                if items:
+                    staged.append((rule, items))
             delta = self._apply_staged(staged)
         self._record_iterations(index, iterations + 1)
 
@@ -568,22 +840,33 @@ class Evaluator:
         delta_pos: Optional[int],
         delta_rows: list[Row],
         exclude: Optional[dict[str, set[Row]]] = None,
+        plan: Any = None,
     ) -> list[tuple]:
         """Derive a non-aggregate rule's head tuples through the compiled
         plan when available, otherwise the AST-walking reference path.
 
-        Items are ``(rel, row)``, or ``(rel, row, body_tuples)`` when the
-        provenance ledger is attached (tracked execution).
+        ``plan`` is the pre-resolved JoinPlan from the stratum's install-
+        time execution structures; when omitted (external callers) it is
+        looked up from the plan cache.  Items are ``(rel, row)``, or
+        ``(rel, row, body_tuples)`` when the provenance ledger is
+        attached (tracked execution).
         """
         planner = self.planner
         if planner is not None:
-            plans = planner.plans_for(rule)
-            plan = plans.full if delta_pos is None else plans.by_pos[delta_pos]
+            if plan is None:
+                plans = planner.plans_for(rule)
+                plan = (
+                    plans.full if delta_pos is None
+                    else plans.by_pos[delta_pos]
+                )
             tracked = self._ledger is not None
             prof = self._profiler
             if prof is not None:
                 # Sampling decision inlined: one stat load, an increment
-                # and a modulo on the un-sampled hot path.
+                # and a modulo on the un-sampled hot path.  Sampled
+                # executions run the step pipeline (the profiler times
+                # per-step), which produces bit-identical results to the
+                # generated source, so tiers may interleave freely.
                 stat = plan._prof
                 if stat is None:
                     stat = prof.link(plan)
@@ -594,14 +877,21 @@ class Evaluator:
                         plan, self, delta_rows, exclude, tracked
                     )
             if tracked:
+                src = plan.src_execute_tracked
+                if src is not None:
+                    return src(self, delta_rows, exclude)
                 return plan.execute_tracked(self, delta_rows, exclude)
+            src = plan.src_execute
+            if src is not None:
+                return src(self, delta_rows, exclude)
             return plan.execute(self, delta_rows, exclude)
         return self._eval_rule(rule, delta_pos, delta_rows, exclude)
 
-    def _derive_aggregate(self, rule: Rule) -> list[tuple]:
+    def _derive_aggregate(self, rule: Rule, plan: Any = None) -> list[tuple]:
         planner = self.planner
         if planner is not None:
-            plan = planner.plans_for(rule).agg
+            if plan is None:
+                plan = planner.plans_for(rule).agg
             tracked = self._ledger is not None
             prof = self._profiler
             if prof is not None:
@@ -627,43 +917,100 @@ class Evaluator:
             iterations += 1
             if iterations > MAX_FIXPOINT_ITERATIONS:
                 raise EvaluationError("naive fixpoint did not converge")
-            staged: list[tuple[Rule, tuple]] = []
+            staged: list[tuple[Rule, list]] = []
             for rule in agg_rules:
-                staged.extend(
-                    (rule, item)
-                    for item in self._eval_aggregate_rule(rule)
-                )
+                items = self._eval_aggregate_rule(rule)
+                if items:
+                    staged.append((rule, items))
             for rule in normal_rules:
-                staged.extend(
-                    (rule, item)
-                    for item in self._eval_rule(
-                        rule, delta_pos=None, delta_rows=()
-                    )
-                )
+                items = self._eval_rule(rule, delta_pos=None, delta_rows=())
+                if items:
+                    staged.append((rule, items))
             if not self._apply_staged(staged):
                 self._record_iterations(index, iterations)
                 return
 
     def _apply_staged(
-        self, staged: list[tuple[Rule, tuple]]
+        self, staged: list[tuple[Rule, list]]
     ) -> dict[str, set[Row]]:
-        """Dispatch buffered head tuples; returns the genuinely-new local
-        insertions, which become the next semi-naive delta."""
+        """Dispatch buffered head tuples (batched per rule); returns the
+        genuinely-new local insertions, which become the next semi-naive
+        delta."""
         delta: dict[str, set[Row]] = defaultdict(set)
         fires = self.rule_fires
+        dispatch = self._dispatch_head
         if self._ledger is not None:
             # Tracked items are always (rel, row, witness-env) triples.
-            for rule, (rel, row, witness) in staged:
-                fires[rule.name] = fires.get(rule.name, 0) + 1
-                if self._dispatch_head(rule, rel, row, witness):
-                    delta[rel].add(row)
+            for rule, items in staged:
+                fires[rule.name] = fires.get(rule.name, 0) + len(items)
+                for rel, row, witness in items:
+                    if dispatch(rule, rel, row, witness):
+                        delta[rel].add(row)
             return delta
-        for rule, item in staged:
-            rel = item[0]
-            row = item[1]
-            fires[rule.name] = fires.get(rule.name, 0) + 1
-            if self._dispatch_head(rule, rel, row):
-                delta[rel].add(row)
+        catalog = self.catalog
+        local = self.local_address
+        for rule, items in staged:
+            fires[rule.name] = fires.get(rule.name, 0) + len(items)
+            if rule.deferred or rule.delete:
+                for rel, row in items:
+                    dispatch(rule, rel, row)
+                continue
+            # A rule's head relation is constant, so the routing checks
+            # (@loc column, materialized-or-event) and the table/delta-set
+            # lookups hoist out of the per-item loop; the loop body below
+            # transcribes _dispatch_head + _insert_local for the
+            # ledger-less case.
+            rel = items[0][0]
+            loc = rule.head.loc
+            seen_sends = self._seen_sends
+            sends = self._result.sends
+            if catalog.is_materialized(rel):
+                insert = catalog.table(rel).insert
+                dset = None
+                for _rel, row in items:
+                    if loc is not None:
+                        dest = row[loc]
+                        if dest != local:
+                            key = (dest, rel, row)
+                            if key not in seen_sends:
+                                seen_sends.add(key)
+                                sends.append((dest, rel, row))
+                            continue
+                    res = insert(row)
+                    if res.inserted:
+                        self._record_fired(rel, row)
+                        self._active.add(rel)
+                        self._add_accumulated(rel, row)
+                        if res.displaced is not None:
+                            self._full_dirty.add(rel)
+                            self._full_dirty_pending.add(rel)
+                        if dset is None:
+                            dset = delta[rel]
+                        dset.add(row)
+            else:
+                pools = self._event_pool
+                pool = pools.get(rel)
+                dset = None
+                for _rel, row in items:
+                    if loc is not None:
+                        dest = row[loc]
+                        if dest != local:
+                            key = (dest, rel, row)
+                            if key not in seen_sends:
+                                seen_sends.add(key)
+                                sends.append((dest, rel, row))
+                            continue
+                    if pool is None:
+                        pool = pools[rel] = set()
+                    elif row in pool:
+                        continue
+                    pool.add(row)
+                    self._record_fired(rel, row)
+                    self._active.add(rel)
+                    self._add_accumulated(rel, row)
+                    if dset is None:
+                        dset = delta[rel]
+                    dset.add(row)
         return delta
 
     def _dispatch_head(

@@ -63,6 +63,7 @@ from .ast import (
     Var,
 )
 from .catalog import Catalog, Row, Table
+from .codegen import atom_needs_dedup
 from .errors import EvaluationError
 from .functions import FunctionLibrary
 
@@ -522,10 +523,20 @@ class _CondStep:
 class JoinPlan:
     """The compiled body of one rule for one semi-naive delta position
     (``delta_pos=None`` is the full-evaluation plan), plus the compiled
-    head projection for non-aggregate rules."""
+    head projection for non-aggregate rules.
+
+    Under the source-codegen tier (``compile_mode="source"``, see
+    :mod:`repro.overlog.codegen`) the plan additionally carries flat
+    ``exec``-generated functions — ``src_execute`` / ``src_execute_tracked``
+    / ``src_envs`` — that produce bit-identical output to ``execute`` /
+    ``execute_tracked`` / ``body_envs`` without the step pipeline.  They
+    are ``None`` on the closure tier or when the emitter declined the
+    rule shape; callers must fall back to the step path then.
+    """
 
     __slots__ = (
         "rule", "delta_pos", "steps", "head_name", "head_fns", "_prof",
+        "src_execute", "src_execute_tracked", "src_envs", "source",
     )
 
     def __init__(
@@ -543,6 +554,11 @@ class JoinPlan:
         # Profiler stat slot, lazily filled by PlanProfiler.should_sample
         # so the sampling decision is one attribute load per execution.
         self._prof = None
+        # Source-codegen overlay (filled by RulePlans on the source tier).
+        self.src_execute = None
+        self.src_execute_tracked = None
+        self.src_envs = None
+        self.source: Optional[str] = None
 
     def body_envs(
         self,
@@ -607,7 +623,7 @@ class AggregatePlan:
 
     __slots__ = (
         "rule", "body", "head_name", "group_fns", "agg_specs", "arity",
-        "_prof",
+        "_prof", "src_pairs",
     )
 
     # Profiler tag (JoinPlans use their delta_pos instead).
@@ -617,6 +633,10 @@ class AggregatePlan:
         self.rule = rule
         self.body = body
         self._prof = None
+        # Source-tier overlay: a generated function yielding one
+        # (group-key, agg-values) pair per distinct binding, replacing
+        # the env materialization + per-env closure extraction below.
+        self.src_pairs = None
         head = rule.head
         self.head_name = head.name
         self.arity = len(head.args)
@@ -636,40 +656,89 @@ class AggregatePlan:
         )
 
     def execute(self, ev: Any) -> list[tuple[str, Row]]:
-        envs = self.body.body_envs(ev, (), None)
-        group_fns = self.group_fns
-        agg_specs = self.agg_specs
         # Bag aggregation over distinct bindings (SQL semantics) — the
-        # body plan already guarantees distinct environments.
-        groups: dict[Row, list[Row]] = {}
-        for env in envs:
-            key = tuple(fn(env) for _, fn in group_fns)
-            values = tuple(
-                None if fn is None else fn(env) for _, _, fn in agg_specs
-            )
-            bucket = groups.get(key)
-            if bucket is None:
-                groups[key] = [values]
+        # body plan already guarantees distinct environments/pairs.
+        # Single-spec rules bucket bare values (the generated ``agg``
+        # shape emits scalars for them); multi-spec rules bucket values
+        # tuples.  Both fold in first-seen group order, matching the
+        # closure fold exactly.
+        groups: dict[Row, list] = {}
+        specs = self.agg_specs
+        single = len(specs) == 1
+        pairs_fn = self.src_pairs
+        if pairs_fn is not None:
+            for key, values in pairs_fn(ev, (), None):
+                bucket = groups.get(key)
+                if bucket is None:
+                    groups[key] = [values]
+                else:
+                    bucket.append(values)
+        else:
+            envs_fn = self.body.src_envs
+            if envs_fn is not None:
+                envs = envs_fn(ev, (), None)
             else:
-                bucket.append(values)
+                envs = self.body.body_envs(ev, (), None)
+            group_fns = self.group_fns
+            if single:
+                _, _, vfn = specs[0]
+                for env in envs:
+                    key = tuple(fn(env) for _, fn in group_fns)
+                    value = None if vfn is None else vfn(env)
+                    bucket = groups.get(key)
+                    if bucket is None:
+                        groups[key] = [value]
+                    else:
+                        bucket.append(value)
+            else:
+                for env in envs:
+                    key = tuple(fn(env) for _, fn in group_fns)
+                    values = tuple(
+                        None if fn is None else fn(env)
+                        for _, _, fn in specs
+                    )
+                    bucket = groups.get(key)
+                    if bucket is None:
+                        groups[key] = [values]
+                    else:
+                        bucket.append(values)
         out: list[tuple[str, Row]] = []
+        head_name = self.head_name
+        arity = self.arity
+        group_fns = self.group_fns
+        if single:
+            i, func, fn = specs[0]
+            for key, values in groups.items():
+                row: list[Any] = [None] * arity
+                for slot, (gi, _fn) in enumerate(group_fns):
+                    row[gi] = key[slot]
+                if fn is None:
+                    row[i] = len(values)  # count<*>: one per binding
+                else:
+                    row[i] = aggregate(func, values)
+                out.append((head_name, tuple(row)))
+            return out
         for key, value_rows in groups.items():
-            row: list[Any] = [None] * self.arity
-            for slot, (i, _fn) in enumerate(group_fns):
-                row[i] = key[slot]
-            for slot, (i, func, fn) in enumerate(agg_specs):
+            row = [None] * arity
+            for slot, (gi, _fn) in enumerate(group_fns):
+                row[gi] = key[slot]
+            for slot, (i, func, fn) in enumerate(specs):
                 if fn is None:
                     row[i] = len(value_rows)  # count<*>: one per binding
                 else:
                     row[i] = aggregate(func, [vr[slot] for vr in value_rows])
-            out.append((self.head_name, tuple(row)))
+            out.append((head_name, tuple(row)))
         return out
 
     def execute_tracked(self, ev: Any) -> list[tuple[str, Row, tuple]]:
         """Like :meth:`execute`; each aggregate output carries the tuple
         of contributing body environments (one per distinct binding in
         the group), from which the evaluator reconstructs witnesses."""
-        envs = self.body.body_envs(ev, (), None)
+        envs_fn = self.body.src_envs
+        if envs_fn is not None:
+            envs = envs_fn(ev, (), None)
+        else:
+            envs = self.body.body_envs(ev, (), None)
         group_fns = self.group_fns
         agg_specs = self.agg_specs
         groups: dict[Row, list[Row]] = {}
@@ -782,8 +851,13 @@ def _compile_body(
             else:
                 probe_cols, probe_fns = (), ()
             match = _compile_matcher(elem, frozen, probe_cols, functions)
-            needs_dedup = any(
-                isinstance(a, Var) and a.is_wildcard for a in elem.args
+            # Dedup only where duplicates are possible (see
+            # codegen.atom_needs_dedup): wildcard columns, minus the
+            # keyed-table case where the key is fully visible.  Delta
+            # steps always keep it — a primary-key displacement can put
+            # two same-key row versions into one delta list.
+            needs_dedup = atom_needs_dedup(
+                elem, None if source == _SRC_DELTA else table
             )
             steps.append(
                 _AtomStep(
@@ -841,12 +915,28 @@ def compile_rule(
 class RulePlans:
     """Every compiled plan for one rule: the full-evaluation plan, one
     delta plan per positive body atom, and the aggregate wrapper when the
-    head aggregates."""
+    head aggregates.
 
-    __slots__ = ("rule", "full", "by_pos", "agg")
+    With ``mode="source"`` each plan is additionally compiled to flat
+    Python source (:mod:`repro.overlog.codegen`); the generated text is
+    kept in ``sources`` (tag -> source) for inspection (``\\src`` in the
+    REPL) and the executable functions land on the plans.  Emission
+    failures fall back to the closure step path plan-by-plan and are
+    counted in ``codegen_errors``.
+    """
 
-    def __init__(self, rule: Rule, catalog: Catalog, functions: FunctionLibrary):
+    __slots__ = ("rule", "full", "by_pos", "agg", "sources", "codegen_errors")
+
+    def __init__(
+        self,
+        rule: Rule,
+        catalog: Catalog,
+        functions: FunctionLibrary,
+        mode: str = "closure",
+    ):
         self.rule = rule
+        self.sources: dict[str, str] = {}
+        self.codegen_errors = 0
         self.full = compile_rule(rule, None, catalog, functions)
         if rule.is_aggregate:
             # Aggregates are evaluated once per stratum over the full
@@ -855,12 +945,46 @@ class RulePlans:
             self.agg: Optional[AggregatePlan] = AggregatePlan(
                 rule, self.full, functions
             )
+            if mode == "source":
+                self._attach_source(
+                    self.full, catalog, functions, ("envs", "agg")
+                )
         else:
             self.by_pos = tuple(
                 compile_rule(rule, pos, catalog, functions)
                 for pos in range(len(rule.positives))
             )
             self.agg = None
+            if mode == "source":
+                kinds = ("plain", "tracked")
+                self._attach_source(self.full, catalog, functions, kinds)
+                for plan in self.by_pos:
+                    self._attach_source(plan, catalog, functions, kinds)
+
+    def _attach_source(
+        self,
+        plan: JoinPlan,
+        catalog: Catalog,
+        functions: FunctionLibrary,
+        kinds: tuple[str, ...],
+    ) -> None:
+        from .codegen import Unsupported, generate_plan_source
+
+        try:
+            fns, source = generate_plan_source(
+                plan.rule, plan.delta_pos, catalog, functions, kinds
+            )
+        except Unsupported:
+            self.codegen_errors += 1
+            return
+        plan.source = source
+        tag = "full" if plan.delta_pos is None else f"delta@{plan.delta_pos}"
+        self.sources[tag] = source
+        plan.src_execute = fns.get("plain")
+        plan.src_execute_tracked = fns.get("tracked")
+        plan.src_envs = fns.get("envs")
+        if self.agg is not None:
+            self.agg.src_pairs = fns.get("agg")
 
     def explain(self, fires: Optional[int] = None) -> str:
         lines = [str(self.rule)]
@@ -885,27 +1009,57 @@ class PlanCache:
     plan (rule addition / program swap), after which the evaluator
     recompiles.  ``compile_count`` counts whole-program compilations so
     tests can assert plans are reused, not rebuilt, across timesteps.
+
+    ``mode`` selects the execution tier the cache compiles for:
+    ``"closure"`` (step pipeline only) or ``"source"`` (step pipeline
+    plus exec-generated flat functions, the default evaluator tier —
+    see :mod:`repro.overlog.codegen`).
+
+    Invalidation flushes *everything* keyed by the outgoing rule set:
+    the plans, the cached generated source, and — when a profiler is
+    attached (``self.profiler``, set by ``Evaluator.attach_profiler``) —
+    the profiler's per-(rule, tag) sample stats, which would otherwise
+    attribute a new program's timings to old rules of the same name.
     """
 
-    def __init__(self, catalog: Catalog, functions: FunctionLibrary):
+    def __init__(
+        self,
+        catalog: Catalog,
+        functions: FunctionLibrary,
+        mode: str = "closure",
+    ):
         self.catalog = catalog
         self.functions = functions
+        self.mode = mode
         self._by_rule: dict[int, RulePlans] = {}
         self._rules: tuple[Rule, ...] = ()
         self.compile_count = 0
+        self.codegen_errors = 0
+        # (rule name, plan tag) -> generated source text, for \src.
+        self.generated: dict[tuple[str, str], str] = {}
+        self.profiler = None
 
     def compile_program(self, rules: tuple[Rule, ...]) -> None:
         """Compile every rule × delta-position up front."""
         self._rules = rules  # keeps ids stable while plans are cached
         self._by_rule = {
-            id(rule): RulePlans(rule, self.catalog, self.functions)
-            for rule in rules
+            id(rule): self._compile_one(rule) for rule in rules
         }
         self.compile_count += 1
+
+    def _compile_one(self, rule: Rule) -> RulePlans:
+        rp = RulePlans(rule, self.catalog, self.functions, mode=self.mode)
+        self.codegen_errors += rp.codegen_errors
+        for tag, source in rp.sources.items():
+            self.generated[(rule.name, tag)] = source
+        return rp
 
     def invalidate(self) -> None:
         self._by_rule = {}
         self._rules = ()
+        self.generated = {}
+        if self.profiler is not None:
+            self.profiler.invalidate()
 
     @property
     def plans(self) -> list[RulePlans]:
@@ -916,10 +1070,34 @@ class PlanCache:
         if rp is None:
             # A rule installed outside compile_program (defensive; the
             # evaluator recompiles on any rule-set change).
-            rp = RulePlans(rule, self.catalog, self.functions)
+            rp = self._compile_one(rule)
             self._by_rule[id(rule)] = rp
             self._rules = self._rules + (rule,)
         return rp
+
+    def render_source(self, rule_name: Optional[str] = None) -> str:
+        """Generated source text for every cached plan (optionally one
+        rule), in rule order — what the REPL's ``\\src`` prints."""
+        if self.mode != "source":
+            return f"(no generated source: compile_mode={self.mode!r})"
+        parts = []
+        for rp in self._by_rule.values():
+            if rule_name is not None and rp.rule.name != rule_name:
+                continue
+            for source in rp.sources.values():
+                parts.append(source.rstrip("\n"))
+            if not rp.sources and (rule_name is not None or rp.codegen_errors):
+                parts.append(
+                    f"# rule {rp.rule.name}: no generated source "
+                    f"(closure-tier fallback)"
+                )
+        if not parts:
+            return (
+                f"(no generated source for rule {rule_name!r})"
+                if rule_name is not None
+                else "(no generated source)"
+            )
+        return "\n\n".join(parts)
 
     def explain(
         self,

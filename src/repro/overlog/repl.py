@@ -18,6 +18,8 @@ Commands:
     \\whynot <rel> <v1> ...       why a tuple is absent ('?' = unknown col)
     \\profile [top]               sampled hot-rules report
     \\explain [rule]              compiled join plans (+ fire counts)
+    \\src [rule]                  Python source the codegen tier generated
+                                 for a rule's plans (all rules if omitted)
     \\lat [trace]                 critical-path latency accounting of a
                                  trace (default: the last insert's)
     \\inv                         invariant violations recorded so far,
@@ -204,6 +206,9 @@ class Repl:
 
     def cmd_explain(self, rule: str = "") -> str:
         return self.runtime.explain(rule or None)
+
+    def cmd_src(self, rule: str = "") -> str:
+        return self.runtime.generated_source(rule or None)
 
     def cmd_lat(self, trace: str = "") -> str:
         from ..latency import critical_path

@@ -60,6 +60,7 @@ class OverlogRuntime:
         extra_functions: Optional[dict[str, Callable[..., Any]]] = None,
         naive: bool = False,
         compile_plans: bool = True,
+        compile_mode: Optional[str] = None,
         metrics: "NodeMetrics | bool | None" = None,
         provenance: bool = False,
         provenance_capacity: Optional[int] = None,
@@ -91,6 +92,7 @@ class OverlogRuntime:
             address,
             naive=naive,
             compile_plans=compile_plans,
+            compile_mode=compile_mode,
         )
         # Always-on runtime metrics (pass metrics=False to measure their
         # cost, as benchmark E8 does).  A NodeMetrics instance may also be
@@ -181,6 +183,18 @@ class OverlogRuntime:
     def explain(self, rule_name: Optional[str] = None) -> str:
         """Render the evaluator's compiled join plans (docs/EVALUATOR.md)."""
         return self.evaluator.explain(rule_name)
+
+    def generated_source(self, rule_name: Optional[str] = None) -> str:
+        """The Python source the codegen tier generated for a rule's plans
+        (all rules when ``rule_name`` is None); explains itself when the
+        evaluator runs on a lower tier.  See docs/EVALUATOR.md."""
+        planner = self.evaluator.planner
+        if planner is None:
+            return (
+                "(no generated source: "
+                f"compile_mode={self.evaluator.compile_mode})"
+            )
+        return planner.render_source(rule_name)
 
     # -- provenance debugger (docs/PROVENANCE.md) -----------------------------
 

@@ -80,15 +80,27 @@ class PlanProfiler:
         self.sample_every = sample_every
         self._stats: dict[tuple[str, str], _PlanStat] = {}
 
+    def invalidate(self) -> None:
+        """Drop every accumulated (rule, plan-tag) stat.
+
+        Called by ``PlanCache.invalidate`` on a rule-set swap: stats are
+        keyed by rule *name*, so letting them survive would attribute a
+        new program's timings to same-named rules of the old one.  (A
+        recompile of the *same* rules also lands here — plan ``_prof``
+        slots are cleared with the plans, and the next execution re-links
+        fresh stats.)"""
+        self._stats = {}
+
     # -- sampling decision (hot path) ---------------------------------------
 
     def link(self, plan: Any) -> _PlanStat:
         """Find-or-create the stat for ``plan`` and cache it on the plan
         itself (``plan._prof``), so the evaluator's inlined sampling
         decision is one attribute load, an increment and a modulo.
-        Stats are *keyed* by (rule, tag) in ``_stats``, which survives
-        plan-cache invalidation — a recompiled plan re-links to its
-        rule's accumulated history."""
+        Stats are *keyed* by (rule, tag) in ``_stats``; a rule-set swap
+        flushes them through :meth:`invalidate` (via
+        ``PlanCache.invalidate``) so a new program never inherits
+        same-named rules' timings."""
         key = (plan.rule.name, _tag(plan.delta_pos))
         stat = self._stats.get(key)
         if stat is None:

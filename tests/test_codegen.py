@@ -1,0 +1,177 @@
+"""Unit tests for the source-codegen evaluator tier.
+
+The differential suite (tests/test_plan_equivalence.py) proves the
+generated functions *behave* identically to the closure tier; these
+tests pin down what the emitter actually generates — access-path choice
+(pk-get / probe / scan), delta pre-grouping, negation and aggregate
+shapes — plus the cache-invalidation and catalog regressions that ride
+along with the tier:
+
+* ``PlanCache.invalidate`` must flush generated source *and* the plan
+  profiler's accumulated stats (a new program must never inherit
+  same-named rules' timings or stale source text);
+* ``Table.clear`` empties built single/composite indexes in place, so
+  plan-cached index references stay correct across a clear-then-
+  reinsert cycle without recounting ``index_builds``.
+"""
+
+from repro.overlog import OverlogRuntime, parse
+
+
+def make_runtime(src: str, **kwargs) -> OverlogRuntime:
+    return OverlogRuntime(parse("program t;\n" + src), address="n0", **kwargs)
+
+
+JOIN_SRC = """
+define(edge, keys(), {Int, Int});
+define(path2, keys(), {Int, Int});
+j1 path2(X, Z) :- edge(X, Y), edge(Y, Z);
+"""
+
+PK_SRC = """
+define(fq, keys(0), {Str, Int});
+event(req, 2);
+define(hit, keys(), {Str, Int});
+p1 hit(P, F) :- req(_, P), fq(P, F);
+"""
+
+NEG_SRC = """
+define(a, keys(), {Int});
+define(b, keys(), {Int});
+define(only_a, keys(), {Int});
+n1 only_a(X) :- a(X), notin b(X);
+"""
+
+AGG_SRC = """
+define(item, keys(), {Int, Int});
+define(per_group, keys(), {Int, Int});
+g1 per_group(G, count<V>) :- item(G, V);
+"""
+
+
+class TestGeneratedSource:
+    def test_join_rule_emits_plan_per_delta_position(self):
+        rt = make_runtime(JOIN_SRC)
+        src = rt.generated_source("j1")
+        # One generated function per delta position of the join, plus the
+        # full recompute, each annotated with its access path.
+        assert "def _" in src
+        assert "delta@0" in src and "delta@1" in src
+        assert "edge: probe" in src or "edge: scan" in src
+
+    def test_pk_lookup_recognized(self):
+        rt = make_runtime(PK_SRC)
+        src = rt.generated_source("p1")
+        # fq has keys(0) and the join binds exactly that column: the
+        # emitter must use the primary-key dict, not a scan or index.
+        assert "pk-get [0]" in src
+        assert "lookup_key" in src
+
+    def test_delta_pregrouping_on_bound_join(self):
+        rt = make_runtime(JOIN_SRC)
+        src = rt.generated_source("j1")
+        # Scanning edge while probing the delta on the bound column must
+        # bucket the delta rows once in the function preamble.
+        assert "delta grouped" in src
+
+    def test_negation_compiles_to_membership_check(self):
+        rt = make_runtime(NEG_SRC)
+        src = rt.generated_source("n1")
+        assert "notin b" in src
+
+    def test_aggregate_emits_group_fold(self):
+        rt = make_runtime(AGG_SRC)
+        src = rt.generated_source("g1")
+        assert "agg" in src
+        # Single-spec aggregates carry the bare value, not a 1-tuple.
+        assert "count" in rt.explain("g1")
+
+    def test_lower_tiers_have_no_source(self):
+        rt = make_runtime(JOIN_SRC, compile_mode="closure")
+        assert "no generated source" in rt.generated_source()
+        rt2 = make_runtime(JOIN_SRC, compile_mode="interpreter")
+        assert "no generated source" in rt2.generated_source()
+
+    def test_source_tier_is_the_default(self):
+        rt = make_runtime(JOIN_SRC)
+        assert rt.evaluator.compile_mode == "source"
+
+    def test_generated_functions_actually_run(self):
+        rt = make_runtime(JOIN_SRC)
+        for row in [(1, 2), (2, 3), (3, 4)]:
+            rt.insert("edge", row)
+        rt.tick()
+        assert sorted(rt.rows("path2")) == [(1, 3), (2, 4)]
+
+
+class TestInvalidateFlushes:
+    """Satellite: PlanCache.invalidate drops profiler stats + source."""
+
+    def _warm(self):
+        rt = make_runtime(JOIN_SRC, profile=True, profile_sample_every=1)
+        for row in [(1, 2), (2, 3)]:
+            rt.insert("edge", row)
+        rt.tick()
+        planner = rt.evaluator.planner
+        profiler = rt.evaluator._profiler
+        assert planner.generated, "expected cached generated source"
+        assert profiler._stats, "expected profiler samples after a tick"
+        return rt, planner, profiler
+
+    def test_invalidate_flushes_source_and_profiler(self):
+        _, planner, profiler = self._warm()
+        planner.invalidate()
+        assert planner.generated == {}
+        assert planner.plans == []
+        assert profiler._stats == {}
+
+    def test_rule_swap_reaches_invalidate_then_recompiles(self):
+        rt, planner, profiler = self._warm()
+        stale = dict(planner.generated)
+        rt.add_rule("j2 path2(X, Y) :- edge(X, Y);")
+        # The swap flushed old stats and regenerated source for the new
+        # rule set — including the rule added after initial compile.
+        assert profiler._stats == {}
+        assert any(rule == "j2" for rule, _tag in planner.generated)
+        assert set(stale) <= set(planner.generated)
+        rt.tick()
+        assert (1, 2) in rt.rows("path2")
+
+
+class TestClearThenReinsert:
+    """Satellite: Table.clear keeps plan-cached index references valid."""
+
+    def test_clear_empties_indexes_in_place_without_rebuild(self):
+        rt = make_runtime(JOIN_SRC)
+        table = rt.catalog.table("edge")
+        for row in [(1, 2), (1, 3), (2, 3)]:
+            table.insert(row)
+        single = table.ensure_single_index(0)
+        composite = table.ensure_index((0, 1))
+        builds = table.index_builds
+        table.clear()
+        # Same dict objects, emptied in place; no rebuild counted.
+        assert table.ensure_single_index(0) is single
+        assert table.ensure_index((0, 1)) is composite
+        assert not single and not composite
+        assert table.index_builds == builds
+        table.insert((5, 6))
+        assert single[5] == {(5, 6)}
+        assert composite[(5, 6)] == {(5, 6)}
+        assert table.index_builds == builds
+
+    def test_compiled_plan_correct_across_clear_reinsert(self):
+        rt = make_runtime(JOIN_SRC)
+        for row in [(1, 2), (2, 3)]:
+            rt.insert("edge", row)
+        rt.tick()
+        assert sorted(rt.rows("path2")) == [(1, 3)]
+        # Wipe the base table out from under the compiled plan's cached
+        # index references, then drive fresh rows through the same plans.
+        rt.catalog.table("edge").clear()
+        rt.catalog.table("path2").clear()
+        for row in [(7, 8), (8, 9)]:
+            rt.insert("edge", row)
+        rt.tick()
+        assert sorted(rt.rows("path2")) == [(7, 9)]
+        assert sorted(rt.rows("edge")) == [(7, 8), (8, 9)]

@@ -3,17 +3,22 @@
 Every seed generates a random Overlog program (multi-way joins, negation,
 aggregates, deletion rules, deferred ``@next`` rules, ``@``-located heads,
 wildcards, assignments, conditions) plus a random multi-timestep workload,
-then runs it under three evaluator configurations:
+then runs it under five evaluator configurations:
 
-* **compiled** — the default: cached join plans (repro.overlog.plan),
+* **compiled** — the default tier: cached plans lowered to generated
+  Python source (``compile_mode="source"``, repro.overlog.codegen),
+* **closure** — ``compile_mode="closure"``: the step-pipeline tier the
+  source emitter was derived from,
 * **interpreted** — ``compile_plans=False``: the AST-walking semi-naive
   reference the plans were compiled from,
 * **naive** — ``naive=True``: textbook full re-evaluation every round
-  (:meth:`Evaluator._run_stratum_naive`), the ground-truth semantics.
+  (:meth:`Evaluator._run_stratum_naive`), the ground-truth semantics,
+* **ledgered** — the default tier again but with the provenance ledger
+  and an aggressive 1-in-2 plan profiler attached (pure observers).
 
-The compiled path must be *indistinguishable* from the interpreted
+The compiled tiers must be *indistinguishable* from the interpreted
 reference — identical table fixpoints, send sets, per-rule fire counts,
-derivation totals and semi-naive pass counts — and both must agree with
+derivation totals and semi-naive pass counts — and all must agree with
 naive evaluation on fixpoints and sends (fire counts differ under naive
 evaluation by design: it re-derives everything every round).
 
@@ -379,9 +384,13 @@ def test_compiled_plans_match_reference_and_naive(seed):
     program = gen.generate()
     batches = gen.workload()
 
-    compiled = run_variant(program, batches)
+    compiled = run_variant(program, batches)  # source-codegen tier (default)
+    closure = run_variant(program, batches, compile_mode="closure")
     interpreted = run_variant(program, batches, compile_plans=False)
     naive = run_variant(program, batches, naive=True)
+    # The generated-source tier and the closure tier it was lowered from
+    # must be bit-identical in every observable.
+    assert closure == compiled, str(program)
     # The provenance ledger + sampled profiler must be pure observers:
     # with both enabled (and an aggressive 1-in-2 sampling rate so the
     # profiler's own execution paths run constantly), the compiled

@@ -99,6 +99,14 @@ class TestCommands:
         out = repl.execute("\\explain")
         assert "fires:" in out
 
+    def test_src_command_dumps_generated_source(self, repl):
+        out = repl.execute("\\src")
+        assert "def _" in out  # codegen tier is the default
+        one_rule = repl.execute("\\src demo_r2")
+        assert "rule demo_r2" in one_rule and "def _demo_r2_" in one_rule
+        assert "rule demo_r1" not in one_rule
+        assert "no generated source" in repl.execute("\\src nosuchrule")
+
     def test_commands_work_without_backslash(self, repl):
         repl.execute("insert link a b")
         repl.execute("tick")
